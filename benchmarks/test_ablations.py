@@ -1,0 +1,76 @@
+"""Ablations on DynamicC's design choices (DESIGN.md per-experiment index).
+
+A — objective verification (§5.4): disabling the check lets false-
+    positive predictions through; quality must drop.
+B — active-cluster negative sampling (§5.3): the paper's 0.7/0.3
+    weighting versus uniform sampling.
+C — θ policy (§5.4): min-positive-probability versus a fixed 0.5
+    threshold (accuracy-style), measured as serve-time nomination recall
+    proxies: applied changes and final quality.
+D — partner selection (§6.2): the paper's min-P(C_new=1) heuristic
+    versus best-objective-delta (this reproduction's default).
+"""
+
+import numpy as np
+
+from repro.clustering.batch import HillClimbing
+from repro.clustering.objectives import DBIndexObjective
+from repro.core import DynamicC, DynamicCConfig
+from repro.eval import render_table
+from repro.eval.harness import f1_against_reference, run_incremental
+
+
+def _run(workload, config, seed=0):
+    return run_incremental(
+        workload,
+        lambda g: DynamicC(g, DBIndexObjective(), config=config, seed=seed),
+        bootstrap=lambda g: HillClimbing(DBIndexObjective()).cluster(g),
+        train_rounds=3,
+    )
+
+
+def _mean_f1(run, reference):
+    metrics = f1_against_reference(run, reference)
+    return float(np.mean([m.f1 for m in metrics]))
+
+
+def test_ablations(benchmark, dbindex_suite, emit):
+    entry = dbindex_suite["cora"]
+    workload, reference = entry["workload"], entry["reference"]
+    benchmark.pedantic(
+        lambda: _run(workload, DynamicCConfig()), rounds=1, iterations=1
+    )
+
+    variants = {
+        "default (verified, 0.7/0.3, min-pos θ, best-delta)": DynamicCConfig(),
+        "A: no objective verification": DynamicCConfig(verify_with_objective=False),
+        "B: uniform negative sampling": DynamicCConfig(
+            negative_active_weight=0.5, negative_inactive_weight=0.5
+        ),
+        "C: fixed θ = 0.5 (accuracy-style)": DynamicCConfig(
+            theta_quantile=0.0, theta_floor=0.5
+        ),
+        "D: min-probability partner (§6.2)": DynamicCConfig(
+            partner_selection="min-probability"
+        ),
+    }
+    rows = []
+    results = {}
+    for name, config in variants.items():
+        run = _run(workload, config)
+        f1 = _mean_f1(run, reference)
+        results[name] = f1
+        rows.append([name, f1, run.total_latency()])
+    emit(
+        render_table(
+            ["variant", "mean pair-F1 vs batch", "total latency s"],
+            rows,
+            title="\n== Ablations A-D on the Cora DB-index workload ==",
+            precision=3,
+        )
+    )
+    default_f1 = results["default (verified, 0.7/0.3, min-pos θ, best-delta)"]
+    # Verification is load-bearing: removing it must hurt quality.
+    assert results["A: no objective verification"] < default_f1 - 0.02
+    # The default configuration is the best or near-best variant.
+    assert default_f1 >= max(results.values()) - 0.05

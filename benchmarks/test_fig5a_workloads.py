@@ -1,0 +1,35 @@
+"""Figure 5(a) — operation mix per snapshot per dataset.
+
+The paper's workloads add/remove/update 3–35% of objects per snapshot;
+this reproduces the per-snapshot operation percentages of each
+generated workload.
+"""
+
+from repro.data.workload import OperationMix, build_workload
+from repro.eval import render_table
+
+
+def test_fig5a_operation_mix(benchmark, dbindex_suite, kmeans_suite, emit):
+    def kernel():
+        dataset = dbindex_suite["cora"]["dataset"]
+        return build_workload(
+            dataset, initial_count=50, n_snapshots=4, mixes=OperationMix(), seed=0
+        )
+
+    benchmark.pedantic(kernel, rounds=3, iterations=1)
+
+    rows = []
+    suites = {name: entry["workload"] for name, entry in dbindex_suite.items()}
+    suites["road(kmeans)"] = kmeans_suite["workload"]
+    for name, workload in suites.items():
+        for index, add, remove, update in workload.operation_table():
+            rows.append([name, index, add, remove, update])
+    emit(
+        render_table(
+            ["dataset", "snapshot", "add %", "remove %", "update %"],
+            rows,
+            title="\n== Fig 5(a): operations per snapshot (paper: 3-35% mixes) ==",
+            precision=1,
+        )
+    )
+    assert rows

@@ -1,0 +1,64 @@
+"""Figure 5(d) — √(objective score) over snapshots on Road (k-means).
+
+Paper shape: Naive's score blows up as updates accumulate; Hill-climbing
+(the batch), Greedy and both DynamicC variants stay close together.
+"""
+
+import math
+
+from repro.clustering.objectives import KMeansObjective
+from repro.clustering.state import Clustering
+from repro.eval import render_table
+
+
+def test_fig5d_kmeans_objective_score(benchmark, kmeans_suite, emit):
+    suite = kmeans_suite
+    spec = suite["spec"]
+
+    # Kernel: scoring the final reference clustering.
+    reference = suite["reference"]
+    final = reference.rounds[-1]
+    graph = suite["dataset"].graph()
+    payloads = suite["dataset"].payloads()
+    for obj_id in final.labels:
+        graph.add_object(obj_id, payloads[obj_id])
+    clustering = Clustering.from_labels(graph, final.labels)
+    objective = KMeansObjective(k=spec["k"], penalty=spec["penalty"])
+    benchmark.pedantic(lambda: objective.score(clustering), rounds=5, iterations=1)
+
+    methods = {
+        "hill-climbing": suite["reference"],
+        "naive": suite["naive"],
+        "greedy": suite["greedy"],
+        "dynamicc(greedyset)": suite["dynamicc_greedyset"],
+        "dynamicc(dynamicset)": suite["dynamicc"],
+    }
+    rows = []
+    indices = [r.index for r in suite["dynamicc"].predict_rounds()]
+    for name, run in methods.items():
+        by_index = {r.index: r for r in run.rounds}
+        for index in indices:
+            record = by_index.get(index)
+            if record is None or record.score is None:
+                continue
+            rows.append([name, index, len(record.labels), math.sqrt(record.score)])
+    emit(
+        render_table(
+            ["method", "round", "# objects", "sqrt(objective)"],
+            rows,
+            title=(
+                "\n== Fig 5(d): sqrt k-means objective on Road "
+                "(paper shape: Naive worst & growing, others ≈ batch) =="
+            ),
+            precision=1,
+        )
+    )
+    # Shape check: Naive's final score far above every other method's.
+    final_index = indices[-1]
+    scores = {
+        name: {r.index: r.score for r in run.rounds}[final_index]
+        for name, run in methods.items()
+    }
+    assert scores["naive"] > 3 * scores["hill-climbing"]
+    assert scores["dynamicc(dynamicset)"] < 3 * scores["hill-climbing"]
+    assert scores["greedy"] < 3 * scores["hill-climbing"]

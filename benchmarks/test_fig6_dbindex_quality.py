@@ -1,0 +1,66 @@
+"""Figure 6 — DB-index objective score on Cora / Music / Synthetic.
+
+Paper shape: Naive degrades to the worst score as objects accumulate;
+Hill-climbing achieves the best (lowest) score; Greedy is between Naive
+and DynamicC; DynamicC(DynamicSet) ≥ DynamicC(GreedySet) in quality.
+"""
+
+from repro.clustering.objectives import DBIndexObjective
+from repro.clustering.state import Clustering
+from repro.eval import render_table
+
+
+def test_fig6_dbindex_objective_scores(benchmark, dbindex_suite, emit):
+    entry = dbindex_suite["cora"]
+    final = entry["reference"].rounds[-1]
+    graph = entry["dataset"].graph()
+    payloads = entry["dataset"].payloads()
+    for obj_id in final.labels:
+        graph.add_object(obj_id, payloads[obj_id])
+    clustering = Clustering.from_labels(graph, final.labels)
+    benchmark.pedantic(
+        lambda: DBIndexObjective().score(clustering), rounds=5, iterations=1
+    )
+
+    rows = []
+    for name, entry in dbindex_suite.items():
+        methods = {
+            "naive": entry["naive"],
+            "hill-climbing": entry["reference"],
+            "greedy": entry["greedy"],
+            "dynamicc(greedyset)": entry["dynamicc_greedyset"],
+            "dynamicc(dynamicset)": entry["dynamicc"],
+        }
+        indices = [r.index for r in entry["dynamicc"].predict_rounds()]
+        for method, run in methods.items():
+            by_index = {r.index: r for r in run.rounds}
+            for index in indices:
+                record = by_index.get(index)
+                if record is None or record.score is None:
+                    continue
+                rows.append([name, method, index, len(record.labels), record.score])
+    emit(
+        render_table(
+            ["dataset", "method", "round", "# objects", "objective"],
+            rows,
+            title=(
+                "\n== Fig 6: DB-index objective (lower better; paper shape: "
+                "Naive worst, HC best, Greedy < DynamicC) =="
+            ),
+            precision=1,
+        )
+    )
+
+    # Shape checks on the final round of each dataset.
+    for name, entry in dbindex_suite.items():
+        indices = [r.index for r in entry["dynamicc"].predict_rounds()]
+        final_index = indices[-1]
+
+        def final_score(run):
+            return {r.index: r.score for r in run.rounds}[final_index]
+
+        naive = final_score(entry["naive"])
+        hc = final_score(entry["reference"])
+        dyn = final_score(entry["dynamicc"])
+        assert naive > dyn, f"{name}: naive should be worst"
+        assert dyn < 1.5 * hc + 1e-9, f"{name}: DynamicC should approach batch"

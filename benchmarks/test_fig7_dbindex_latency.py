@@ -1,0 +1,51 @@
+"""Figure 7 — re-clustering latency on Cora / Music / Synthetic (DB-index).
+
+Paper shape: Hill-climbing omitted (hours); Greedy's latency grows
+significantly with dataset size while DynamicC stays low; Naive is
+trivially fast but inaccurate (Fig. 6).
+"""
+
+from repro.eval import render_table
+
+
+def test_fig7_dbindex_latency(benchmark, dbindex_suite, emit):
+    dynamicc = dbindex_suite["cora"]["dynamicc"]
+    benchmark.pedantic(lambda: [r.latency for r in dynamicc.rounds], rounds=5, iterations=1)
+
+    rows = []
+    totals = {}
+    for name, entry in dbindex_suite.items():
+        methods = {
+            "naive": entry["naive"],
+            "greedy": entry["greedy"],
+            "dynamicc": entry["dynamicc"],
+            "hill-climbing(batch)": entry["reference"],
+        }
+        indices = [r.index for r in entry["dynamicc"].predict_rounds()]
+        for method, run in methods.items():
+            by_index = {r.index: r for r in run.rounds}
+            for index in indices:
+                record = by_index.get(index)
+                if record is None:
+                    continue
+                rows.append(
+                    [name, method, index, len(record.labels), record.latency * 1e3]
+                )
+            totals[(name, method)] = sum(
+                by_index[i].latency for i in indices if i in by_index
+            )
+    emit(
+        render_table(
+            ["dataset", "method", "round", "# objects", "latency ms"],
+            rows,
+            title=(
+                "\n== Fig 7: DB-index re-clustering latency "
+                "(paper shape: DynamicC well below Greedy, batch omitted) =="
+            ),
+            precision=1,
+        )
+    )
+    # Shape: batch is the slowest on every dataset; DynamicC total beats it
+    # by a wide margin.
+    for name in dbindex_suite:
+        assert totals[(name, "dynamicc")] < 0.5 * totals[(name, "hill-climbing(batch)")]

@@ -1,0 +1,62 @@
+"""Table 1 — experimental settings on the datasets.
+
+Prints the generated datasets' settings next to the paper's (sizes are
+scaled; see DESIGN.md §4 and _config.py).
+"""
+
+import _config as config
+from repro.data.generators import generate_cora
+from repro.eval import render_table
+
+PAPER_ROWS = {
+    "cora": ("Jaccard", 279, 1879, "textual and numerical"),
+    "music": ("Cosine Trigram", "4K", 15375, "textual"),
+    "access": ("Euclidean", "1K", 20208, "numerical"),
+    "road": ("Euclidean", "100K", 344768, "numerical"),
+    "synthetic": ("Levenshtein and Jaccard", "10K", "43K", "textual and numerical"),
+}
+
+
+def test_table1_dataset_settings(benchmark, dbindex_suite, dbscan_access_suite, dbscan_road_suite, emit):
+    benchmark.pedantic(
+        lambda: generate_cora(n_entities=20, n_duplicates=60, seed=0),
+        rounds=3,
+        iterations=1,
+    )
+    rows = []
+    for name, entry in dbindex_suite.items():
+        workload = entry["workload"]
+        dataset = entry["dataset"]
+        paper = PAPER_ROWS[name]
+        rows.append(
+            [
+                name,
+                dataset.similarity.name,
+                len(workload.initial),
+                workload.final_object_count(),
+                dataset.data_type,
+                f"(paper: {paper[0]}, {paper[1]} -> {paper[2]})",
+            ]
+        )
+    for name, suite in (("access", dbscan_access_suite), ("road", dbscan_road_suite)):
+        workload = suite["workload"]
+        dataset = suite["dataset"]
+        paper = PAPER_ROWS[name]
+        rows.append(
+            [
+                name,
+                dataset.similarity.name,
+                len(workload.initial),
+                workload.final_object_count(),
+                dataset.data_type,
+                f"(paper: {paper[0]}, {paper[1]} -> {paper[2]})",
+            ]
+        )
+    emit(
+        render_table(
+            ["dataset", "similarity", "# initial", "# final", "type", "paper scale"],
+            rows,
+            title="\n== Table 1: dataset settings (scaled; see DESIGN.md) ==",
+        )
+    )
+    assert len(rows) == 5

@@ -1,0 +1,52 @@
+"""Table 2 — pair-F1 per snapshot for DB-index clustering.
+
+Naive / Greedy / DynamicC against the batch result as ground truth.
+Paper shape: Naive degrades steadily; DynamicC ≥ Greedy, both close to 1.
+"""
+
+import _config as config
+from repro.eval import render_table
+from repro.eval.harness import f1_against_reference
+
+
+def test_table2_pair_f1(benchmark, dbindex_suite, emit):
+    entry = dbindex_suite["cora"]
+    benchmark.pedantic(
+        lambda: f1_against_reference(entry["dynamicc"], entry["reference"]),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = []
+    measured = {}
+    for name, entry in dbindex_suite.items():
+        indices = [r.index for r in entry["dynamicc"].predict_rounds()]
+        for method in ("naive", "greedy", "dynamicc"):
+            run = entry[method]
+            metrics = f1_against_reference(run, entry["reference"])
+            by_index = {
+                record.index: metric
+                for record, metric in zip(run.predict_rounds(), metrics)
+            }
+            f1s = [by_index[i].f1 for i in indices if i in by_index]
+            measured[(name, method)] = f1s
+            paper = config.PAPER_TABLE2_F1[name][method]
+            rows.append(
+                [name, method]
+                + [f"{value:.3f}" for value in f1s[:5]]
+                + ["| paper:"]
+                + [f"{value:.3f}" for value in paper]
+            )
+    emit(
+        render_table(
+            ["dataset", "method", "s1", "s2", "s3", "s4", "s5", "", "p1", "p2", "p3", "p4", "p5"],
+            rows,
+            title="\n== Table 2: pair-F1 vs batch per snapshot (measured | paper) ==",
+        )
+    )
+    # Shape: DynamicC's mean F1 beats Naive's on every dataset.
+    for name in dbindex_suite:
+        dyn = sum(measured[(name, "dynamicc")]) / len(measured[(name, "dynamicc")])
+        naive = sum(measured[(name, "naive")]) / len(measured[(name, "naive")])
+        assert dyn > naive, f"{name}: DynamicC must beat Naive"
+        assert dyn > 0.75, f"{name}: DynamicC F1 too low ({dyn:.3f})"

@@ -1,0 +1,75 @@
+"""Fixed-k customer/access segmentation under churn (k-means clustering).
+
+Access-profile vectors arrive, churn out, and get re-provisioned
+(updated); the segmentation must keep exactly k segments current.
+DynamicC runs over the fixed-k k-means objective with best-delta partner
+selection and move refinement (see DESIGN.md):
+
+    python examples/fixed_k_segmentation.py
+"""
+
+from repro.clustering.batch import HillClimbing
+from repro.clustering.objectives import KMeansObjective
+from repro.core import DynamicC, DynamicCConfig
+from repro.data.generators import generate_access
+from repro.data.workload import OperationMix, build_workload
+from repro.eval import print_table
+from repro.eval.harness import run_batch_per_round, run_incremental
+
+K = 18
+PENALTY = 1e5
+
+dataset = generate_access(n_profiles=K, n_records=900, seed=9)
+workload = build_workload(
+    dataset,
+    initial_count=350,
+    n_snapshots=7,
+    mixes=OperationMix(add=0.12, remove=0.03, update=0.04),
+    seed=4,
+)
+
+
+def make_objective() -> KMeansObjective:
+    return KMeansObjective(k=K, penalty=PENALTY)
+
+
+reference = run_batch_per_round(
+    workload, lambda: HillClimbing(make_objective()), score_fn=lambda c: make_objective().sse(c)
+)
+
+
+def dynamicc_factory(graph):
+    objective = make_objective()
+    config = DynamicCConfig(candidate_scope="all", partner_selection="best-delta")
+    return DynamicC(graph, objective, batch=HillClimbing(objective), config=config, seed=0)
+
+
+run = run_incremental(
+    workload,
+    dynamicc_factory,
+    bootstrap=lambda g: HillClimbing(make_objective()).cluster(g),
+    train_rounds=3,
+    score_fn=lambda c: make_objective().sse(c),
+)
+
+rows = []
+for record in run.predict_rounds():
+    batch_round = reference.rounds[record.index]
+    rows.append(
+        [
+            record.index,
+            record.num_clusters,
+            record.score,
+            batch_round.score,
+            record.latency,
+            batch_round.latency,
+        ]
+    )
+print_table(
+    ["round", "segments", "dynamic SSE", "batch SSE", "dynamic s", "batch s"],
+    rows,
+    title=f"\nFixed-k (k={K}) segmentation under churn",
+    precision=1,
+)
+print("\nthe segment count stays pinned at k while DynamicC re-clusters "
+      "in a fraction of the batch latency")

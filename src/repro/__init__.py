@@ -1,0 +1,64 @@
+"""repro — a full reproduction of DynamicC (EDBT 2022).
+
+DynamicC ("Efficient Dynamic Clustering: Capturing Patterns from
+Historical Cluster Evolution", Gu, Kargar & Nawab) augments an
+arbitrary batch clustering algorithm with two small classifiers that
+learn, from historical cluster evolution, which clusters are about to
+merge or split — so high-velocity add/remove/update workloads can be
+re-clustered without re-running the batch algorithm.
+
+Public API tour
+---------------
+* :class:`repro.core.DynamicC` — the system (training + prediction).
+* :mod:`repro.clustering` — clustering state, objectives (correlation,
+  k-means, DB-index), batch algorithms (Hill-climbing, DBSCAN, Lloyd)
+  and the Naive/Greedy baselines.
+* :mod:`repro.similarity` — similarity measures, blocking indexes, and
+  the dynamic similarity graph.
+* :mod:`repro.ml` — from-scratch logistic regression / SVM / decision
+  tree (the Table 4 model families).
+* :mod:`repro.data` — the five Table 1 dataset generators and the
+  dynamic workload driver.
+* :mod:`repro.eval` — pair-counting F1, purity metrics, and the
+  experiment harness.
+"""
+
+from repro.clustering import Clustering
+from repro.clustering.baselines import GreedyIncremental, NaiveIncremental
+from repro.clustering.batch import DBSCAN, HillClimbing, LloydKMeans
+from repro.clustering.objectives import (
+    CorrelationObjective,
+    DBIndexObjective,
+    KMeansObjective,
+    ObjectiveFunction,
+)
+from repro.core import (
+    DynamicC,
+    DynamicCConfig,
+    DynamicCModel,
+    make_dynamic_dbscan,
+)
+from repro.data import build_workload
+from repro.similarity import SimilarityGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DBSCAN",
+    "Clustering",
+    "CorrelationObjective",
+    "DBIndexObjective",
+    "DynamicC",
+    "DynamicCConfig",
+    "DynamicCModel",
+    "GreedyIncremental",
+    "HillClimbing",
+    "KMeansObjective",
+    "LloydKMeans",
+    "NaiveIncremental",
+    "ObjectiveFunction",
+    "SimilarityGraph",
+    "build_workload",
+    "make_dynamic_dbscan",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Clustering substrate: state, objectives, batch algorithms, baselines."""
+
+from .incremental import IncrementalClusterer
+from .membership import (
+    canonical_partition,
+    labels_to_partition,
+    partition_to_labels,
+    restrict_partition,
+    same_clustering,
+)
+from .state import Clustering
+
+__all__ = [
+    "Clustering",
+    "IncrementalClusterer",
+    "canonical_partition",
+    "labels_to_partition",
+    "partition_to_labels",
+    "restrict_partition",
+    "same_clustering",
+]

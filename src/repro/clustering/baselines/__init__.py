@@ -1,0 +1,6 @@
+"""Incremental baselines the paper compares against (§7.1)."""
+
+from .greedy import GreedyIncremental
+from .naive import NaiveIncremental
+
+__all__ = ["GreedyIncremental", "NaiveIncremental"]

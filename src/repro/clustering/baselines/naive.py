@@ -1,0 +1,64 @@
+"""Naive incremental baseline (§7.1).
+
+"It compares each new object with existing clusters and then assigns an
+object to the closest cluster or a new cluster. This method does not
+compute the objective score for the clustering. Its decisions are only
+based on heuristics such as similarity threshold."
+
+A merge-only strategy: the cluster structure is never revisited, which
+is exactly why its quality degrades as updates accumulate (Fig. 6,
+Table 2 — "the 'merge-only' strategy applied in Naive can not work well
+when the clustering structure changes").
+"""
+
+from __future__ import annotations
+
+from repro.clustering.incremental import IncrementalClusterer
+from repro.similarity.graph import SimilarityGraph
+
+
+class NaiveIncremental(IncrementalClusterer):
+    """Assign each new object to its most similar cluster above a threshold.
+
+    Parameters
+    ----------
+    graph:
+        The method's similarity graph.
+    threshold:
+        Minimum average similarity between the object and a cluster for
+        the object to join it; below, the object starts its own cluster.
+    """
+
+    name = "naive"
+
+    def __init__(self, graph: SimilarityGraph, threshold: float = 0.5) -> None:
+        super().__init__(graph)
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        self.threshold = threshold
+        self._pending: list[int] = []
+
+    def _place_new_object(self, obj_id: int) -> None:
+        # Defer placement to _recluster so removals/updates of this round
+        # have settled before similarity comparison.
+        self.clustering.add_singleton(obj_id)
+        self._pending.append(obj_id)
+
+    def _recluster(self, changed: set[int]) -> None:
+        for obj_id in self._pending:
+            if obj_id not in self.clustering:
+                continue
+            self._assign(obj_id)
+        self._pending.clear()
+
+    def _assign(self, obj_id: int) -> None:
+        own_cid = self.clustering.cluster_of(obj_id)
+        best_cid: int | None = None
+        best_avg = self.threshold
+        for other_cid, cross in self.clustering.neighbor_clusters(own_cid).items():
+            avg = cross / self.clustering.size(other_cid)
+            if avg >= best_avg:
+                best_avg = avg
+                best_cid = other_cid
+        if best_cid is not None:
+            self.clustering.merge(own_cid, best_cid)

@@ -1,0 +1,17 @@
+"""Batch clustering algorithms (§7.1: DBSCAN and Hill-climbing, plus Lloyd)."""
+
+from .dbscan import DBSCAN, DBSCANResult, eps_neighborhood, is_core
+from .hill_climbing import HillClimbing
+from .kmeans_batch import KMeansBatch
+from .kmeans_lloyd import LloydKMeans, sse_of
+
+__all__ = [
+    "DBSCAN",
+    "DBSCANResult",
+    "HillClimbing",
+    "KMeansBatch",
+    "LloydKMeans",
+    "eps_neighborhood",
+    "is_core",
+    "sse_of",
+]

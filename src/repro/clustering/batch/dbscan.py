@@ -1,0 +1,106 @@
+"""DBSCAN over the dynamic similarity graph (batch algorithm, §7.1).
+
+Classic DBSCAN [20] phrased in similarity space: the ε-neighbourhood of
+an object is the set of objects with stored similarity ≥ ``sim_eps``
+(for Euclidean payloads, ``sim_eps = exp(-ε / scale)`` under the
+exponential kernel, so this is exactly a radius-ε query). An object is
+a *core point* when its neighbourhood (including itself) holds at least
+``min_pts`` objects. Clusters are the connected components of core
+points plus their density-reachable border points; noise objects end up
+in singleton clusters so the result stays a partition, but they are
+reported separately.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.clustering.state import Clustering
+from repro.similarity.graph import SimilarityGraph
+
+
+@dataclass
+class DBSCANResult:
+    """Outcome of a DBSCAN run."""
+
+    clustering: Clustering
+    core_points: set[int]
+    noise: set[int]
+
+
+def eps_neighborhood(graph: SimilarityGraph, obj_id: int, sim_eps: float) -> set[int]:
+    """Objects with similarity ≥ ``sim_eps`` to ``obj_id`` (excluding itself)."""
+    return {
+        other
+        for other, sim in graph.neighbors(obj_id).items()
+        if sim >= sim_eps
+    }
+
+
+def is_core(graph: SimilarityGraph, obj_id: int, sim_eps: float, min_pts: int) -> bool:
+    """Core-point test; the point itself counts towards ``min_pts``."""
+    return len(eps_neighborhood(graph, obj_id, sim_eps)) + 1 >= min_pts
+
+
+class DBSCAN:
+    """Density-based batch clustering.
+
+    Parameters
+    ----------
+    sim_eps:
+        Minimum similarity for two objects to be ε-neighbours.
+    min_pts:
+        Minimum neighbourhood size (including the object) for a core point.
+    """
+
+    def __init__(self, sim_eps: float, min_pts: int) -> None:
+        if not 0.0 < sim_eps <= 1.0:
+            raise ValueError("sim_eps must be in (0, 1]")
+        if min_pts < 1:
+            raise ValueError("min_pts must be >= 1")
+        self.sim_eps = sim_eps
+        self.min_pts = min_pts
+
+    def run(self, graph: SimilarityGraph) -> DBSCANResult:
+        clustering = Clustering(graph)
+        assigned: set[int] = set()
+        core_points: set[int] = set()
+        noise: set[int] = set()
+
+        for obj_id in graph.object_ids():
+            if obj_id in assigned:
+                continue
+            neighborhood = eps_neighborhood(graph, obj_id, self.sim_eps)
+            if len(neighborhood) + 1 < self.min_pts:
+                continue  # border or noise; settled later
+            # Grow a new cluster from this core point.
+            core_points.add(obj_id)
+            members = {obj_id}
+            assigned.add(obj_id)
+            queue: deque[int] = deque(neighborhood)
+            while queue:
+                candidate = queue.popleft()
+                if candidate in assigned:
+                    continue
+                assigned.add(candidate)
+                members.add(candidate)
+                candidate_nbrs = eps_neighborhood(graph, candidate, self.sim_eps)
+                if len(candidate_nbrs) + 1 >= self.min_pts:
+                    core_points.add(candidate)
+                    queue.extend(
+                        other for other in candidate_nbrs if other not in assigned
+                    )
+            cid = clustering.add_singleton(next(iter(members)))
+            for member in members:
+                if member not in clustering:
+                    other_cid = clustering.add_singleton(member)
+                    cid = clustering.merge(cid, other_cid)
+
+        # Anything unassigned has no core in reach: noise, kept as singletons.
+        for obj_id in graph.object_ids():
+            if obj_id not in assigned:
+                noise.add(obj_id)
+                clustering.add_singleton(obj_id)
+
+        return DBSCANResult(clustering=clustering, core_points=core_points, noise=noise)

@@ -1,0 +1,112 @@
+"""Common interface for incremental (dynamic) clustering methods.
+
+The experiment drivers treat Naive, Greedy and DynamicC uniformly: each
+owns a similarity graph and a current clustering, and consumes rounds
+of data operations (Add / Remove / Update, §3.1). Graph maintenance and
+the paper's *initial processing* (§6.1 — new and updated objects start
+as singleton clusters, removals leave their cluster) are shared here;
+concrete methods implement :meth:`_recluster`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable, Mapping
+
+from repro.clustering.state import Clustering
+from repro.similarity.graph import SimilarityGraph
+
+
+class IncrementalClusterer(ABC):
+    """A dynamic clustering method consuming rounds of data operations."""
+
+    name: str = "incremental"
+
+    def __init__(self, graph: SimilarityGraph) -> None:
+        self.graph = graph
+        self.clustering: Clustering = Clustering(graph)
+
+    # ------------------------------------------------------------------
+    def bootstrap(self, clustering: Clustering) -> None:
+        """Adopt a starting clustering (e.g. a batch result or the
+        previous round's output under the GreedySet/DynamicSet modes)."""
+        if clustering.graph is not self.graph:
+            raise ValueError("clustering must be defined over this method's graph")
+        self.clustering = clustering
+
+    def apply_round(
+        self,
+        added: Mapping[int, Any] | None = None,
+        removed: Iterable[int] | None = None,
+        updated: Mapping[int, Any] | None = None,
+    ) -> Clustering:
+        """Apply one round of operations and re-cluster.
+
+        Returns the new clustering (also kept as :attr:`clustering`).
+        """
+        self.ingest(added, removed, updated)
+        return self.recluster()
+
+    def ingest(
+        self,
+        added: Mapping[int, Any] | None = None,
+        removed: Iterable[int] | None = None,
+        updated: Mapping[int, Any] | None = None,
+    ) -> set[int]:
+        """Apply the data operations only (graph + initial processing).
+
+        Separated from :meth:`recluster` so benchmarks can time
+        re-clustering without the similarity-graph maintenance that is
+        identical across all methods (batch included).
+        """
+        self._pending_changed = self._ingest(added or {}, removed or (), updated or {})
+        return self._pending_changed
+
+    def recluster(self) -> Clustering:
+        """Restructure the clustering for the last ingested operations."""
+        changed = getattr(self, "_pending_changed", set())
+        self._pending_changed = set()
+        self._recluster(changed)
+        return self.clustering
+
+    # ------------------------------------------------------------------
+    def _ingest(
+        self,
+        added: Mapping[int, Any],
+        removed: Iterable[int],
+        updated: Mapping[int, Any],
+    ) -> set[int]:
+        """Apply data operations to graph + clustering (§6.1).
+
+        Returns the set of object ids whose similarity relations changed
+        (added and updated objects; removed ids are gone and excluded).
+        """
+        changed: set[int] = set()
+        # Removals first: their edges must still exist while the cluster
+        # statistics are updated.
+        for obj_id in removed:
+            if obj_id in self.clustering:
+                self.clustering.remove_object(obj_id)
+            self.graph.remove_object(obj_id)
+        # Updates: remove + re-add under the same id (§6.1).
+        for obj_id, payload in updated.items():
+            if obj_id in self.clustering:
+                self.clustering.remove_object(obj_id)
+            self.graph.update_object(obj_id, payload)
+            self._place_new_object(obj_id)
+            changed.add(obj_id)
+        # Additions.
+        for obj_id, payload in added.items():
+            self.graph.add_object(obj_id, payload)
+            self._place_new_object(obj_id)
+            changed.add(obj_id)
+        return changed
+
+    def _place_new_object(self, obj_id: int) -> None:
+        """Initial placement of a new/updated object (default: singleton)."""
+        self.clustering.add_singleton(obj_id)
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _recluster(self, changed: set[int]) -> None:
+        """Restructure :attr:`clustering` in reaction to the changes."""

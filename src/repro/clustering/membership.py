@@ -1,0 +1,41 @@
+"""Helpers for comparing and converting cluster memberships."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+Partition = frozenset[frozenset[int]]
+
+
+def canonical_partition(groups: Iterable[Iterable[int]]) -> Partition:
+    """Canonical, hashable partition form (set of member sets)."""
+    return frozenset(frozenset(group) for group in groups if group)
+
+
+def labels_to_partition(labels: Mapping[int, int]) -> Partition:
+    """Convert object→label mapping into the canonical partition form."""
+    groups: dict[int, set[int]] = {}
+    for obj_id, label in labels.items():
+        groups.setdefault(label, set()).add(obj_id)
+    return canonical_partition(groups.values())
+
+
+def partition_to_labels(partition: Iterable[Iterable[int]]) -> dict[int, int]:
+    """Assign dense integer labels to a partition's groups."""
+    labels: dict[int, int] = {}
+    for label, group in enumerate(partition):
+        for obj_id in group:
+            labels[obj_id] = label
+    return labels
+
+
+def restrict_partition(partition: Iterable[Iterable[int]], keep: set[int]) -> Partition:
+    """Project a partition onto a subset of objects (dropping empties)."""
+    return canonical_partition(
+        [obj_id for obj_id in group if obj_id in keep] for group in partition
+    )
+
+
+def same_clustering(a: Iterable[Iterable[int]], b: Iterable[Iterable[int]]) -> bool:
+    """True iff the two groupings describe the identical partition."""
+    return canonical_partition(a) == canonical_partition(b)

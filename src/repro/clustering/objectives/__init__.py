@@ -1,0 +1,13 @@
+"""Objective functions for objective-based clustering (§3.2)."""
+
+from .base import ObjectiveFunction
+from .correlation import CorrelationObjective
+from .dbindex import DBIndexObjective
+from .kmeans import KMeansObjective
+
+__all__ = [
+    "CorrelationObjective",
+    "DBIndexObjective",
+    "KMeansObjective",
+    "ObjectiveFunction",
+]

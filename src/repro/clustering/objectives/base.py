@@ -1,0 +1,131 @@
+"""Objective function interface (lower score = better clustering).
+
+The paper's heuristics (Alg. 1/2) *verify* every predicted change by
+checking whether the objective score improves (§5.4 "Avoiding False
+Positives"), and the batch Hill-climbing algorithm greedily applies the
+best-improving change. Both only need two queries —
+
+* ``delta_merge(clustering, a, b)``: score change if clusters a and b merged;
+* ``delta_split(clustering, cid, part)``: score change if ``part`` split out —
+
+plus mutation gateways ``apply_merge`` / ``apply_split`` so stateful
+objectives (DB-index keeps a per-cluster term cache) can update
+incrementally instead of re-scoring from scratch.
+
+The base class supplies exact-but-slow defaults (copy, mutate, score),
+which concrete objectives override with local-delta formulas.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+from repro.clustering.state import Clustering
+
+
+class ObjectiveFunction(ABC):
+    """A clustering quality score to *minimize*."""
+
+    name: str = "objective"
+
+    @abstractmethod
+    def score(self, clustering: Clustering) -> float:
+        """Full score of a clustering (lower is better)."""
+
+    # ------------------------------------------------------------------
+    # Hypothetical-change queries
+    # ------------------------------------------------------------------
+    def delta_merge(self, clustering: Clustering, cid_a: int, cid_b: int) -> float:
+        """Score change if ``cid_a`` and ``cid_b`` were merged (negative = improvement)."""
+        trial = clustering.copy()
+        before = self.score(trial)
+        trial.merge(cid_a, cid_b)
+        return self.score(trial) - before
+
+    def delta_split(self, clustering: Clustering, cid: int, part: Iterable[int]) -> float:
+        """Score change if ``part`` were split out of ``cid``."""
+        trial = clustering.copy()
+        before = self.score(trial)
+        trial.split(cid, set(part))
+        return self.score(trial) - before
+
+    def delta_move(self, clustering: Clustering, obj_id: int, to_cid: int) -> float:
+        """Score change if ``obj_id`` moved to cluster ``to_cid``."""
+        trial = clustering.copy()
+        before = self.score(trial)
+        trial.move(obj_id, to_cid)
+        return self.score(trial) - before
+
+    def delta_merge_group(self, clustering: Clustering, cids: list[int]) -> float:
+        """Score change if all of ``cids`` were merged into one cluster.
+
+        Group merges matter because several objectives (DB-index most of
+        all) have *assembly barriers*: merging a group of k mutually
+        similar clusters improves the score even though every pairwise
+        merge along the way is uphill — a pairwise-only local search
+        stalls on fragmented optima. The default simulates on a copy;
+        concrete objectives override with exact local computations.
+        """
+        if len(cids) < 2:
+            return 0.0
+        trial = clustering.copy()
+        before = self.score(trial)
+        current = cids[0]
+        for cid in cids[1:]:
+            current = trial.merge(current, cid)
+        return self.score(trial) - before
+
+    # ------------------------------------------------------------------
+    # Mutation gateways (overridden by stateful objectives)
+    # ------------------------------------------------------------------
+    def apply_merge(self, clustering: Clustering, cid_a: int, cid_b: int) -> int:
+        """Merge and keep any internal caches consistent; returns new cid."""
+        return clustering.merge(cid_a, cid_b)
+
+    def apply_split(
+        self, clustering: Clustering, cid: int, part: Iterable[int]
+    ) -> tuple[int, int]:
+        """Split and keep any internal caches consistent."""
+        return clustering.split(cid, set(part))
+
+    def apply_move(self, clustering: Clustering, obj_id: int, to_cid: int) -> int:
+        """Move one object; returns its new cluster id."""
+        return clustering.move(obj_id, to_cid)
+
+    def apply_merge_group(self, clustering: Clustering, cids: list[int]) -> int:
+        """Merge all of ``cids`` into one cluster; returns the final cid."""
+        if len(cids) < 2:
+            raise ValueError("group merge needs at least two clusters")
+        current = cids[0]
+        for cid in cids[1:]:
+            current = self.apply_merge(clustering, current, cid)
+        return current
+
+    # ------------------------------------------------------------------
+    def merge_candidates(self, clustering: Clustering, cid: int) -> list[int] | None:
+        """Extra merge partners beyond similarity-graph neighbours.
+
+        ``None`` (default) means "neighbour clusters only", which is
+        right for similarity-driven objectives: merging clusters with
+        zero cross weight can never improve them. Objectives with
+        global coupling override this — the fixed-k k-means objective
+        must be able to merge clusters that share no edge when the
+        cluster count exceeds k.
+        """
+        return None
+
+    def refinement_moves(self, clustering: Clustering) -> list[tuple[int, int]] | None:
+        """Proposed (object, target-cluster) moves for the refinement pass.
+
+        ``None`` (default) lets the search fall back to its generic
+        weakest-member heuristics. Objectives with cheap global
+        knowledge override this — k-means proposes Lloyd-style nearest-
+        centroid reassignments. Every proposal is still verified with
+        ``delta_move`` before being applied.
+        """
+        return None
+
+    def improves(self, delta: float, tolerance: float = 1e-9) -> bool:
+        """True when a delta strictly improves (decreases) the score."""
+        return delta < -tolerance

@@ -1,0 +1,546 @@
+"""Davies–Bouldin index objective, adapted to similarity space.
+
+DB-index [18] was defined for Euclidean space; Gruenheid et al. [26]
+adapt it to record linkage by re-defining scatter and separation over
+pairwise record similarities. We follow that adaptation:
+
+* scatter   ``σ_i = (1 − avg-intra-similarity(C_i)) + base_scatter``. The
+  additive ``base_scatter`` regularises the degenerate all-singleton
+  clustering: with the textbook definition every singleton has σ = 0,
+  making DB = 0 the global optimum at all-singletons — useless for
+  record linkage. A small positive base scatter restores the intended
+  behaviour (nearby clusters produce large R terms until merged),
+* distance  ``d_ij = 1 − avg-cross-similarity(C_i, C_j)`` (floored at ε),
+* per-cluster term ``R_i = max over *neighbour* clusters j of (σ_i + σ_j) / d_ij``
+  (clusters sharing no stored edge have distance 1 and are never the
+  binding constraint; a cluster with no neighbours gets ``R_i = σ_i``),
+* objective ``F = Σ_i R_i`` — the *aggregate* DB index, minimised.
+
+The textbook index is the mean ``(1/k) Σ R_i`` (exposed as
+:meth:`DBIndexObjective.db_mean`); the *sum* is what local search needs:
+under the mean, merging two clusters whose R terms sit below the current
+mean raises the score even when the merged cluster is strictly better,
+so greedy assembly of duplicate groups stalls at fragmented local
+optima. The paper's own Fig. 6 plots DB "objective scores" that grow
+with the number of objects, which is the signature of the aggregate
+form (a mean would stay O(1)).
+
+The paper stresses DB-index "has no special properties for
+optimizing" [26], i.e. no locality/monotonicity shortcuts exist for
+incremental algorithms — which is exactly why it is the stress-test
+workload for DynamicC. Evaluating it naively is O(k·neighbours) per
+query, so this implementation keeps a per-cluster term cache (keyed on
+the clustering's version counter) and updates it *exactly* on
+merges/splits: a merge/split only changes R_j for clusters adjacent to
+the touched clusters whose binding partner was touched, plus the new
+clusters themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.clustering.state import Clustering
+
+from .base import ObjectiveFunction
+
+_EPS = 1e-3
+
+
+class DBIndexObjective(ObjectiveFunction):
+    """Similarity-space Davies–Bouldin index (lower is better)."""
+
+    name = "db-index"
+
+    def __init__(self, distance_floor: float = _EPS, base_scatter: float = 0.05) -> None:
+        if base_scatter <= 0:
+            raise ValueError("base_scatter must be positive (see module docstring)")
+        self.distance_floor = distance_floor
+        self.base_scatter = base_scatter
+        self._cached_clustering: Clustering | None = None
+        self._cached_version: int = -1
+        # cid -> (R term, binding partner cid or None)
+        self._terms: dict[int, tuple[float, int | None]] = {}
+        self._total: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Scatter / distance primitives
+    # ------------------------------------------------------------------
+    def _scatter(self, clustering: Clustering, cid: int) -> float:
+        return (1.0 - clustering.average_intra_similarity(cid)) + self.base_scatter
+
+    def _sigma_from(self, intra_weight: float, size: int) -> float:
+        """Scatter of a hypothetical cluster from its raw statistics."""
+        pairs = size * (size - 1) // 2
+        avg = intra_weight / pairs if pairs else 1.0
+        return (1.0 - avg) + self.base_scatter
+
+    def _distance(
+        self, clustering: Clustering, cid_a: int, cid_b: int, cross_weight: float
+    ) -> float:
+        denom = clustering.size(cid_a) * clustering.size(cid_b)
+        return max(1.0 - cross_weight / denom, self.distance_floor)
+
+    def _term(self, clustering: Clustering, cid: int) -> tuple[float, int | None]:
+        """R_i and its binding partner, computed from scratch."""
+        sigma = self._scatter(clustering, cid)
+        best = sigma
+        best_partner: int | None = None
+        for other, cross in clustering.neighbor_clusters(cid).items():
+            ratio = (sigma + self._scatter(clustering, other)) / self._distance(
+                clustering, cid, other, cross
+            )
+            if ratio > best:
+                best = ratio
+                best_partner = other
+        return best, best_partner
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    def _refresh(self, clustering: Clustering) -> None:
+        if (
+            self._cached_clustering is clustering
+            and self._cached_version == clustering.version
+        ):
+            return
+        self._terms = {
+            cid: self._term(clustering, cid) for cid in clustering.cluster_ids()
+        }
+        self._total = sum(term for term, _ in self._terms.values())
+        self._cached_clustering = clustering
+        self._cached_version = clustering.version
+
+    def invalidate(self) -> None:
+        """Drop the cache (next query recomputes from scratch)."""
+        self._cached_clustering = None
+        self._cached_version = -1
+        self._terms = {}
+        self._total = 0.0
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def score(self, clustering: Clustering) -> float:
+        """Aggregate DB index ``Σ_i R_i`` (lower is better)."""
+        if clustering.num_clusters() == 0:
+            return 0.0
+        self._refresh(clustering)
+        return self._total
+
+    def db_mean(self, clustering: Clustering) -> float:
+        """The classic Davies–Bouldin index ``(1/k) Σ_i R_i``."""
+        if clustering.num_clusters() == 0:
+            return 0.0
+        self._refresh(clustering)
+        return self._total / clustering.num_clusters()
+
+    # ------------------------------------------------------------------
+    # Exact local deltas
+    # ------------------------------------------------------------------
+    def delta_merge(self, clustering: Clustering, cid_a: int, cid_b: int) -> float:
+        self._refresh(clustering)
+        total = self._total
+
+        # Hypothetical merged cluster statistics.
+        size_a, size_b = clustering.size(cid_a), clustering.size(cid_b)
+        size_m = size_a + size_b
+        cross_ab = clustering.cross_weight(cid_a, cid_b)
+        intra_m = (
+            clustering.intra_weight(cid_a) + clustering.intra_weight(cid_b) + cross_ab
+        )
+        sigma_m = self._sigma_from(intra_m, size_m)
+
+        # Neighbour clusters of the merged cluster, with combined cross weight.
+        nbrs: dict[int, float] = {}
+        for source in (cid_a, cid_b):
+            for other, cross in clustering.neighbor_clusters(source).items():
+                if other not in (cid_a, cid_b):
+                    nbrs[other] = nbrs.get(other, 0.0) + cross
+
+        # R term of the merged cluster.
+        r_m = sigma_m
+        for other, cross in nbrs.items():
+            d = max(1.0 - cross / (size_m * clustering.size(other)), self.distance_floor)
+            ratio = (sigma_m + self._scatter(clustering, other)) / d
+            r_m = max(r_m, ratio)
+
+        new_total = total - self._terms[cid_a][0] - self._terms[cid_b][0] + r_m
+
+        # Update affected neighbours.
+        for other, cross in nbrs.items():
+            old_r, old_partner = self._terms[other]
+            sigma_o = self._scatter(clustering, other)
+            d = max(1.0 - cross / (size_m * clustering.size(other)), self.distance_floor)
+            ratio_with_m = (sigma_o + sigma_m) / d
+            if old_partner in (cid_a, cid_b):
+                new_r = self._term_excluding(
+                    clustering, other, exclude=(cid_a, cid_b)
+                )
+                new_r = max(new_r, ratio_with_m)
+            else:
+                new_r = max(old_r, ratio_with_m)
+            new_total += new_r - old_r
+
+        return new_total - total
+
+    def delta_merge_group(self, clustering: Clustering, cids: list[int]) -> float:
+        """Exact local delta of merging several clusters at once.
+
+        This is the move that dissolves DB-index assembly barriers: a
+        group of mutually-similar fragments can be strictly uphill for
+        every pairwise merge (the half-merged cluster has high scatter
+        *and* close remaining fragments) while the complete merge is a
+        large improvement.
+        """
+        if len(cids) < 2:
+            return 0.0
+        self._refresh(clustering)
+        total = self._total
+        group = set(cids)
+
+        size_m = sum(clustering.size(cid) for cid in group)
+        intra_m = sum(clustering.intra_weight(cid) for cid in group)
+        nbrs: dict[int, float] = {}
+        internal_cross = 0.0
+        for cid in group:
+            for other, cross in clustering.neighbor_clusters(cid).items():
+                if other in group:
+                    internal_cross += cross  # each internal pair counted twice
+                else:
+                    nbrs[other] = nbrs.get(other, 0.0) + cross
+        intra_m += internal_cross / 2.0
+        sigma_m = self._sigma_from(intra_m, size_m)
+
+        r_m = sigma_m
+        for other, cross in nbrs.items():
+            d = max(1.0 - cross / (size_m * clustering.size(other)), self.distance_floor)
+            r_m = max(r_m, (sigma_m + self._scatter(clustering, other)) / d)
+
+        new_total = total - sum(self._terms[cid][0] for cid in group) + r_m
+
+        exclude = tuple(group)
+        for other, cross in nbrs.items():
+            old_r, old_partner = self._terms[other]
+            sigma_o = self._scatter(clustering, other)
+            d = max(1.0 - cross / (size_m * clustering.size(other)), self.distance_floor)
+            ratio_with_m = (sigma_o + sigma_m) / d
+            if old_partner in group:
+                new_r = max(
+                    self._term_excluding(clustering, other, exclude=exclude),
+                    ratio_with_m,
+                )
+            else:
+                new_r = max(old_r, ratio_with_m)
+            new_total += new_r - old_r
+
+        return new_total - total
+
+    def _term_excluding(
+        self, clustering: Clustering, cid: int, exclude: tuple[int, ...]
+    ) -> float:
+        """R term of ``cid`` ignoring candidate partners in ``exclude``."""
+        sigma = self._scatter(clustering, cid)
+        best = sigma
+        for other, cross in clustering.neighbor_clusters(cid).items():
+            if other in exclude:
+                continue
+            ratio = (sigma + self._scatter(clustering, other)) / self._distance(
+                clustering, cid, other, cross
+            )
+            best = max(best, ratio)
+        return best
+
+    def delta_split(self, clustering: Clustering, cid: int, part: Iterable[int]) -> float:
+        self._refresh(clustering)
+        part_set = set(part)
+        members = clustering.members_view(cid)
+        rest = members - part_set
+        if not part_set or not rest:
+            raise ValueError("part must be a non-empty proper subset")
+        total = self._total
+        graph = clustering.graph
+
+        # Statistics of the two hypothetical clusters. Only the part
+        # side's edges are scanned (typically one object); the rest
+        # side's externals come from the cluster's adjacency row.
+        intra_part = 0.0
+        cross_pr = 0.0
+        nbrs_p: dict[int, float] = {}
+        for obj_id in part_set:
+            for other, sim in graph.neighbors(obj_id).items():
+                if other in part_set:
+                    if obj_id < other:
+                        intra_part += sim
+                elif other in members:
+                    cross_pr += sim
+                else:
+                    other_cid = clustering.cluster_of(other)
+                    if other_cid is not None and other_cid != cid:
+                        nbrs_p[other_cid] = nbrs_p.get(other_cid, 0.0) + sim
+        intra_rest = clustering.intra_weight(cid) - intra_part - cross_pr
+
+        sigma_p = self._sigma_from(intra_part, len(part_set))
+        sigma_r = self._sigma_from(intra_rest, len(rest))
+
+        nbrs_r: dict[int, float] = {}
+        for other_cid, weight in clustering.neighbor_clusters(cid).items():
+            remaining = weight - nbrs_p.get(other_cid, 0.0)
+            if remaining > 1e-12:
+                nbrs_r[other_cid] = remaining
+
+        def ratio(sigma_x, size_x, sigma_y, size_y, cross) -> float:
+            d = max(1.0 - cross / (size_x * size_y), self.distance_floor)
+            return (sigma_x + sigma_y) / d
+
+        # R terms of the two new clusters (they also neighbour each other
+        # when cross_pr > 0).
+        def new_term(sigma_x, size_x, nbrs, sigma_other, size_other, cross_other):
+            best = sigma_x
+            for other, cross in nbrs.items():
+                best = max(
+                    best,
+                    ratio(
+                        sigma_x,
+                        size_x,
+                        self._scatter(clustering, other),
+                        clustering.size(other),
+                        cross,
+                    ),
+                )
+            if cross_other > 0.0:
+                best = max(
+                    best, ratio(sigma_x, size_x, sigma_other, size_other, cross_other)
+                )
+            return best
+
+        r_p = new_term(sigma_p, len(part_set), nbrs_p, sigma_r, len(rest), cross_pr)
+        r_r = new_term(sigma_r, len(rest), nbrs_r, sigma_p, len(part_set), cross_pr)
+
+        new_total = total - self._terms[cid][0] + r_p + r_r
+
+        # Update neighbours of the old cluster.
+        for other in set(nbrs_p) | set(nbrs_r):
+            old_r, old_partner = self._terms[other]
+            sigma_o = self._scatter(clustering, other)
+            size_o = clustering.size(other)
+            candidates = []
+            if other in nbrs_p:
+                candidates.append(
+                    ratio(sigma_o, size_o, sigma_p, len(part_set), nbrs_p[other])
+                )
+            if other in nbrs_r:
+                candidates.append(
+                    ratio(sigma_o, size_o, sigma_r, len(rest), nbrs_r[other])
+                )
+            if old_partner == cid:
+                new_r = self._term_excluding(clustering, other, exclude=(cid,))
+                new_r = max([new_r] + candidates)
+            else:
+                new_r = max([old_r] + candidates)
+            new_total += new_r - old_r
+
+        return new_total - total
+
+    def delta_move(self, clustering: Clustering, obj_id: int, to_cid: int) -> float:
+        """Exact local delta of moving one object to another cluster.
+
+        A move changes the statistics of the source and target clusters
+        *and* shifts the object's edges between every adjacent cluster's
+        cross weights, so the affected set is: source', target', and
+        clusters adjacent to either (or to the object) whose binding
+        partner was source/target.
+        """
+        from_cid = clustering.cluster_of(obj_id)
+        if from_cid == to_cid:
+            return 0.0
+        self._refresh(clustering)
+        graph = clustering.graph
+        total = self._total
+        source = clustering.members_view(from_cid)
+        target = clustering.members_view(to_cid)
+        size_s, size_t = len(source), len(target)
+
+        # The object's edge weight into source (minus itself), target, others.
+        w_r_source = 0.0
+        w_r_target = 0.0
+        r_out: dict[int, float] = {}
+        for other, sim in graph.neighbors(obj_id).items():
+            if other in source:
+                w_r_source += sim
+            elif other in target:
+                w_r_target += sim
+            elif other in clustering:
+                other_cid = clustering.cluster_of(other)
+                r_out[other_cid] = r_out.get(other_cid, 0.0) + sim
+
+        size_s_new = size_s - 1
+        size_t_new = size_t + 1
+        sigma_s_new = (
+            self._sigma_from(clustering.intra_weight(from_cid) - w_r_source, size_s_new)
+            if size_s_new
+            else None
+        )
+        sigma_t_new = self._sigma_from(
+            clustering.intra_weight(to_cid) + w_r_target, size_t_new
+        )
+
+        cross_source = clustering.neighbor_clusters(from_cid)
+        cross_target = clustering.neighbor_clusters(to_cid)
+        c_st_new = cross_source.get(to_cid, 0.0) - w_r_target + w_r_source
+
+        others = (set(cross_source) | set(cross_target) | set(r_out)) - {
+            from_cid,
+            to_cid,
+        }
+        new_cross_s: dict[int, float] = {}
+        new_cross_t: dict[int, float] = {}
+        for other in others:
+            cs = cross_source.get(other, 0.0) - r_out.get(other, 0.0)
+            ct = cross_target.get(other, 0.0) + r_out.get(other, 0.0)
+            if cs > 1e-12:
+                new_cross_s[other] = cs
+            if ct > 1e-12:
+                new_cross_t[other] = ct
+
+        def ratio(sigma_x, size_x, sigma_y, size_y, cross) -> float:
+            d = max(1.0 - cross / (size_x * size_y), self.distance_floor)
+            return (sigma_x + sigma_y) / d
+
+        # New term for the shrunken source (when it survives).
+        r_s_new = 0.0
+        if sigma_s_new is not None:
+            r_s_new = sigma_s_new
+            for other, cs in new_cross_s.items():
+                r_s_new = max(
+                    r_s_new,
+                    ratio(
+                        sigma_s_new,
+                        size_s_new,
+                        self._scatter(clustering, other),
+                        clustering.size(other),
+                        cs,
+                    ),
+                )
+            if c_st_new > 1e-12:
+                r_s_new = max(
+                    r_s_new,
+                    ratio(sigma_s_new, size_s_new, sigma_t_new, size_t_new, c_st_new),
+                )
+
+        # New term for the grown target.
+        r_t_new = sigma_t_new
+        for other, ct in new_cross_t.items():
+            r_t_new = max(
+                r_t_new,
+                ratio(
+                    sigma_t_new,
+                    size_t_new,
+                    self._scatter(clustering, other),
+                    clustering.size(other),
+                    ct,
+                ),
+            )
+        if sigma_s_new is not None and c_st_new > 1e-12:
+            r_t_new = max(
+                r_t_new,
+                ratio(sigma_t_new, size_t_new, sigma_s_new, size_s_new, c_st_new),
+            )
+
+        new_total = (
+            total - self._terms[from_cid][0] - self._terms[to_cid][0] + r_s_new + r_t_new
+        )
+
+        # Affected third-party clusters.
+        for other in others:
+            old_r, old_partner = self._terms[other]
+            sigma_o = self._scatter(clustering, other)
+            size_o = clustering.size(other)
+            candidates = []
+            if other in new_cross_s and sigma_s_new is not None:
+                candidates.append(
+                    ratio(sigma_o, size_o, sigma_s_new, size_s_new, new_cross_s[other])
+                )
+            if other in new_cross_t:
+                candidates.append(
+                    ratio(sigma_o, size_o, sigma_t_new, size_t_new, new_cross_t[other])
+                )
+            if old_partner in (from_cid, to_cid):
+                new_r = self._term_excluding(
+                    clustering, other, exclude=(from_cid, to_cid)
+                )
+                new_r = max([new_r] + candidates)
+            else:
+                new_r = max([old_r] + candidates)
+            new_total += new_r - old_r
+
+        return new_total - total
+
+    # ------------------------------------------------------------------
+    # Mutation gateways keeping the cache exact
+    # ------------------------------------------------------------------
+    def apply_merge(self, clustering: Clustering, cid_a: int, cid_b: int) -> int:
+        self._refresh(clustering)
+        new_cid = clustering.merge(cid_a, cid_b)
+        self._rebuild_after_change(clustering, removed=(cid_a, cid_b), added=(new_cid,))
+        return new_cid
+
+    def apply_split(
+        self, clustering: Clustering, cid: int, part: Iterable[int]
+    ) -> tuple[int, int]:
+        self._refresh(clustering)
+        rest_cid, part_cid = clustering.split(cid, set(part))
+        self._rebuild_after_change(
+            clustering, removed=(cid,), added=(rest_cid, part_cid)
+        )
+        return rest_cid, part_cid
+
+    def apply_move(self, clustering: Clustering, obj_id: int, to_cid: int) -> int:
+        self._refresh(clustering)
+        from_cid = clustering.cluster_of(obj_id)
+        result = clustering.move(obj_id, to_cid)
+        source_survives = clustering.contains_cluster(from_cid)
+        self._rebuild_after_change(
+            clustering,
+            removed=() if source_survives else (from_cid,),
+            added=((from_cid,) if source_survives else ()) + (to_cid,),
+            stale_partners=(from_cid, to_cid),
+        )
+        return result
+
+    def _rebuild_after_change(
+        self,
+        clustering: Clustering,
+        removed: tuple[int, ...],
+        added: tuple[int, ...],
+        stale_partners: tuple[int, ...] = (),
+    ) -> None:
+        """Update cached terms after an applied merge/split/move (exact).
+
+        ``stale_partners`` lists surviving cluster ids whose statistics
+        changed in place (the source/target of a move): clusters bound
+        to them must be refreshed even though the ids still exist.
+        """
+        for cid in removed:
+            term, _ = self._terms.pop(cid)
+            self._total -= term
+
+        affected: set[int] = set(added)
+        for cid in added:
+            affected.update(clustering.neighbor_clusters(cid))
+        # Clusters whose binding partner vanished or changed in place
+        # must also be refreshed.
+        stale = set(removed) | set(stale_partners)
+        for cid, (_, partner) in list(self._terms.items()):
+            if partner in stale:
+                affected.add(cid)
+
+        for cid in affected:
+            if cid in self._terms:
+                self._total -= self._terms[cid][0]
+            term = self._term(clustering, cid)
+            self._terms[cid] = term
+            self._total += term[0]
+
+        self._cached_version = clustering.version
+        self._cached_clustering = clustering

@@ -1,0 +1,115 @@
+"""Configuration for the DynamicC runtime and training pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DynamicCConfig:
+    """Tunables of DynamicC, defaults following the paper.
+
+    Attributes
+    ----------
+    negative_active_weight / negative_inactive_weight:
+        §5.3 — probability mass given to "active" clusters (clusters in
+        the similarity components touched by the round's changes) when
+        sampling negatives. The paper uses 0.7 / 0.3.
+    negatives_per_positive:
+        §5.3 — "the number of negative samples to be equal to that of
+        the positive samples".
+    max_training_samples:
+        §5.3 — "we remove those old samples when the size of training
+        data becomes too large"; oldest samples are dropped beyond this.
+    theta_quantile:
+        §5.4 — θ is set to the minimum predicted probability over the
+        positive training samples (quantile 0.0 → exactly the paper's
+        rule, 100% training recall). Raising it trades recall for fewer
+        verification checks (Fig. 4); the benches sweep it.
+    theta_floor:
+        Lower bound on θ so a single outlier positive cannot force the
+        models to nominate every cluster.
+    candidate_scope:
+        "affected" (default) — the models score clusters in the
+        similarity components touched by this round's changes, which is
+        where evolution can occur; "local" restricts further to the
+        clusters of changed objects and their direct graph neighbours
+        (right for density/spatial workloads whose graphs form one big
+        component); "all" scores every cluster (the literal reading of
+        §6, used in ablations).
+    partner_selection:
+        How Algorithm 1 picks the merge partner among Cl_merge:
+        "min-probability" is the paper's §6.2 heuristic (the partner
+        minimising the merged cluster's predicted merge probability —
+        the most stable outcome); "best-delta" (default) picks the
+        partner with the best objective improvement. best-delta is the
+        robust default in this reproduction: the min-P proxy misfires
+        when the model is trained on few samples, and for objectives
+        whose verification cannot rank partners at all (the fixed-k
+        k-means penalty makes *every* merge pass verification while
+        above k) the partner choice must carry the quality. The
+        ablation bench compares both.
+    max_full_iterations:
+        Cap on the alternating merge/split loop of Algorithm 3 (it
+        terminates on its own because every applied change improves the
+        objective; the cap is a safety net).
+    verify_with_objective:
+        §5.4 — verify each predicted change with the objective function
+        before applying. Disabling this is Ablation A.
+    retrain_every:
+        Re-fit the models from the training buffer every N prediction
+        rounds, folding in serve-time feedback (0 disables).
+    record_feedback:
+        Record verification outcomes at serve time (rejected predictions
+        become fresh negative samples) for continuous retraining.
+    merge_chain_depth / merge_chain_threshold:
+        When a nominated pairwise merge fails verification, try a
+        *group* merge of the cluster's chain of closest Cl_merge
+        neighbours (up to depth clusters, joined at ≥ threshold average
+        cross-similarity). Dissolves the pairwise assembly barriers of
+        objectives like DB-index; 0 depth disables.
+    split_attempt_limit:
+        Algorithm 2 tries splitting out the most-different members in
+        order until one improves; this caps the attempts per flagged
+        cluster (the ranking means later members virtually never
+        succeed when the first few fail). ``None`` checks every member,
+        the paper's literal loop.
+    refine_moves:
+        After the merge/split loop converges, apply objective-proposed
+        atomic moves (each verified by its delta). A move is split+merge
+        (§4.1), but fixed-k objectives make the intermediate split
+        unverifiable alone, so rebalancing must be proposed atomically.
+        No-op for objectives without ``refinement_moves``.
+    """
+
+    negative_active_weight: float = 0.7
+    negative_inactive_weight: float = 0.3
+    negatives_per_positive: float = 1.0
+    max_training_samples: int = 20_000
+    theta_quantile: float = 0.0
+    theta_floor: float = 0.02
+    candidate_scope: str = "affected"
+    partner_selection: str = "best-delta"
+    max_full_iterations: int = 25
+    verify_with_objective: bool = True
+    retrain_every: int = 0
+    record_feedback: bool = True
+    merge_chain_depth: int = 4
+    merge_chain_threshold: float = 0.3
+    split_attempt_limit: int | None = 3
+    refine_moves: bool = True
+
+    def __post_init__(self) -> None:
+        if self.candidate_scope not in ("affected", "local", "all"):
+            raise ValueError(
+                "candidate_scope must be 'affected', 'local' or 'all'"
+            )
+        if self.partner_selection not in ("min-probability", "best-delta"):
+            raise ValueError(
+                "partner_selection must be 'min-probability' or 'best-delta'"
+            )
+        total = self.negative_active_weight + self.negative_inactive_weight
+        if total <= 0:
+            raise ValueError("negative sampling weights must sum to a positive value")
+        if not 0.0 <= self.theta_quantile < 1.0:
+            raise ValueError("theta_quantile must be in [0, 1)")

@@ -1,0 +1,196 @@
+"""DynamicC for DBSCAN (§7.2.1).
+
+DBSCAN has no objective function, so predicted changes cannot be
+verified by a score delta. The paper instead judges a change "by
+checking whether the relevant previous core points are stable". We
+express exactly that check as a *density pseudo-objective* so the
+generic Algorithms 1–3 run unmodified — demonstrating the paper's claim
+that DynamicC augments other clustering methods "with minor changes":
+
+* a **merge** of clusters A and B is justified iff a core point of one
+  is an ε-neighbour of a core point of the other (they would be density-
+  connected and DBSCAN would have produced one cluster);
+* a **split** of object r out of cluster C is justified iff r is not an
+  ε-neighbour of any core point of C − {r} (r is no longer density-
+  reachable inside C).
+
+The pseudo-objective's full score counts density violations of the
+current clustering (0 for an exact DBSCAN result), so quality can still
+be tracked over rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.clustering.batch.dbscan import DBSCAN, eps_neighborhood, is_core
+from repro.clustering.objectives.base import ObjectiveFunction
+from repro.clustering.state import Clustering
+from repro.similarity.graph import SimilarityGraph
+
+from .config import DynamicCConfig
+from .dynamicc import DynamicC
+from .model import DynamicCModel
+
+
+class DensityObjective(ObjectiveFunction):
+    """Density-violation count standing in for an objective function.
+
+    ``delta_merge`` / ``delta_split`` return −1 when the change is
+    density-justified and +1 otherwise, so the generic "apply only when
+    the objective improves" verification (§5.4) reduces to the paper's
+    core-point-stability check.
+    """
+
+    name = "density"
+
+    def __init__(self, sim_eps: float, min_pts: int) -> None:
+        self.sim_eps = sim_eps
+        self.min_pts = min_pts
+        # Core status depends on the graph alone, not the clustering, so
+        # it can be memoised per graph version (dynamic ops bump it).
+        self._core_cache: dict[int, bool] = {}
+        self._core_cache_version: int = -1
+        self._core_cache_graph: SimilarityGraph | None = None
+
+    # ------------------------------------------------------------------
+    def _is_core(self, graph: SimilarityGraph, obj_id: int) -> bool:
+        if (
+            self._core_cache_graph is not graph
+            or self._core_cache_version != graph.version
+        ):
+            self._core_cache = {}
+            self._core_cache_graph = graph
+            self._core_cache_version = graph.version
+        cached = self._core_cache.get(obj_id)
+        if cached is None:
+            cached = is_core(graph, obj_id, self.sim_eps, self.min_pts)
+            self._core_cache[obj_id] = cached
+        return cached
+
+    def _density_connected(
+        self, graph: SimilarityGraph, left: Iterable[int], right: set[int]
+    ) -> bool:
+        """True when a core of ``left`` ε-neighbours a core of ``right``."""
+        left = set(left)
+        if len(right) < len(left):  # scan the smaller side
+            left, right = right, left
+        for obj_id in left:
+            if not self._is_core(graph, obj_id):
+                continue
+            for other, sim in graph.neighbors(obj_id).items():
+                if sim >= self.sim_eps and other in right and self._is_core(graph, other):
+                    return True
+        return False
+
+    def _attached(self, graph: SimilarityGraph, obj_id: int, rest: set[int]) -> bool:
+        """True when ``obj_id`` is ε-reachable from a core point in ``rest``."""
+        for other, sim in graph.neighbors(obj_id).items():
+            if sim >= self.sim_eps and other in rest and self._is_core(graph, other):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def score(self, clustering: Clustering) -> float:
+        """Number of density violations (0 for an exact DBSCAN clustering)."""
+        graph = clustering.graph
+        violations = 0
+        # Unattached members within clusters.
+        for cid in clustering.cluster_ids():
+            members = clustering.members_view(cid)
+            if len(members) == 1:
+                continue
+            for obj_id in members:
+                if self._is_core(graph, obj_id):
+                    continue
+                if not self._attached(graph, obj_id, members - {obj_id}):
+                    violations += 1
+        # Cross-cluster core-core ε edges (clusters that should be one).
+        seen_pairs: set[tuple[int, int]] = set()
+        for obj_id in graph.object_ids():
+            if obj_id not in clustering or not self._is_core(graph, obj_id):
+                continue
+            cid = clustering.cluster_of(obj_id)
+            for other, sim in graph.neighbors(obj_id).items():
+                if sim < self.sim_eps or other not in clustering:
+                    continue
+                other_cid = clustering.cluster_of(other)
+                if other_cid == cid or not self._is_core(graph, other):
+                    continue
+                pair = (min(cid, other_cid), max(cid, other_cid))
+                if pair not in seen_pairs:
+                    seen_pairs.add(pair)
+                    violations += 1
+        return float(violations)
+
+    def delta_merge(self, clustering: Clustering, cid_a: int, cid_b: int) -> float:
+        graph = clustering.graph
+        members_a = clustering.members_view(cid_a)
+        members_b = clustering.members_view(cid_b)
+        # Merge singleton new arrivals into clusters they are attached to
+        # even when the singleton is not itself core (border points).
+        if len(members_a) == 1:
+            obj_id = next(iter(members_a))
+            if self._attached(graph, obj_id, set(members_b)):
+                return -1.0
+        if len(members_b) == 1:
+            obj_id = next(iter(members_b))
+            if self._attached(graph, obj_id, set(members_a)):
+                return -1.0
+        if self._density_connected(graph, members_a, set(members_b)):
+            return -1.0
+        return 1.0
+
+    def delta_merge_group(self, clustering: Clustering, cids: list[int]) -> float:
+        """Density clustering has no assembly barriers: a justified group
+        merge always contains a justified pairwise merge, so group moves
+        are never needed (and the generic copy-and-score fallback would
+        be expensive). Always reject."""
+        return 1.0
+
+    def delta_split(self, clustering: Clustering, cid: int, part: Iterable[int]) -> float:
+        graph = clustering.graph
+        part_set = set(part)
+        members = clustering.members_view(cid)
+        rest = members - part_set
+        if not rest:
+            raise ValueError("part must be a proper subset")
+        for obj_id in part_set:
+            if self._attached(graph, obj_id, rest):
+                return 1.0  # still reachable: split not justified
+            if self._is_core(graph, obj_id) and self._density_connected(
+                graph, [obj_id], rest
+            ):
+                return 1.0
+        return -1.0
+
+
+class DBSCANBatchAdapter:
+    """Presents batch DBSCAN through the HillClimbing ``cluster()`` interface
+    so :class:`~repro.core.dynamicc.DynamicC` can observe it during training."""
+
+    def __init__(self, sim_eps: float, min_pts: int) -> None:
+        self._dbscan = DBSCAN(sim_eps, min_pts)
+
+    def cluster(self, graph: SimilarityGraph, initial=None, log=None, restrict_to=None) -> Clustering:
+        return self._dbscan.run(graph).clustering
+
+
+def make_dynamic_dbscan(
+    graph: SimilarityGraph,
+    sim_eps: float,
+    min_pts: int,
+    config: DynamicCConfig | None = None,
+    model: DynamicCModel | None = None,
+    seed: int = 0,
+) -> DynamicC:
+    """DynamicC instance augmented with DBSCAN (§7.2.1)."""
+    objective = DensityObjective(sim_eps, min_pts)
+    return DynamicC(
+        graph,
+        objective,
+        batch=DBSCANBatchAdapter(sim_eps, min_pts),
+        model=model,
+        config=config,
+        seed=seed,
+    )

@@ -1,0 +1,11 @@
+"""Cluster-evolution operations (§4) — canonical home: :mod:`repro.evolution`.
+
+The op dataclasses live in a top-level leaf module so that substrate
+packages (e.g. the batch algorithms, which *log* evolution) can import
+them without pulling in the whole DynamicC core; this module re-exports
+them under the conceptually-right location.
+"""
+
+from repro.evolution import EvolutionLog, EvolutionOp, MergeOp, SplitOp
+
+__all__ = ["EvolutionLog", "EvolutionOp", "MergeOp", "SplitOp"]

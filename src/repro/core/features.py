@@ -1,0 +1,160 @@
+"""Per-cluster feature extraction (§5.1 / §5.2).
+
+The Merge model sees a 4-feature vector about a cluster C:
+
+* ``f1`` — average intra-similarity of C (cohesion), in [0, 1];
+* ``f2`` — maximal average inter-similarity between C and any other
+  cluster, in [0, 1];
+* ``f3`` — |C|;
+* ``f4`` — size of the cluster C' attaining the maximum in f2.
+
+The Split model sees ``(f1, f2, f3)`` — f4 is meaningless for a split,
+which involves a single cluster (§5.2).
+
+These features are deliberately *global characteristics of the
+clustering*, independent of the underlying batch algorithm, which is
+what lets DynamicC augment arbitrary batch methods.
+
+Singletons have no intra pairs; their cohesion is defined as 1.0
+(trivially cohesive — see DESIGN.md). A cluster with no neighbouring
+cluster has ``f2 = 0`` and ``f4 = 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.state import Clustering
+
+MERGE_FEATURE_NAMES = ("intra", "max_inter", "size", "partner_size")
+SPLIT_FEATURE_NAMES = ("intra", "max_inter", "size")
+
+
+@dataclass(frozen=True)
+class ClusterFeatures:
+    """The §5.1 feature values of one cluster at one point in time."""
+
+    intra: float
+    max_inter: float
+    size: int
+    partner_size: int
+    partner_cid: int | None = None
+
+    def merge_vector(self) -> np.ndarray:
+        """(f1, f2, f3, f4) for the Merge model."""
+        return np.array(
+            [self.intra, self.max_inter, float(self.size), float(self.partner_size)]
+        )
+
+    def split_vector(self) -> np.ndarray:
+        """(f1, f2, f3) for the Split model."""
+        return np.array([self.intra, self.max_inter, float(self.size)])
+
+
+def cluster_features(clustering: Clustering, cid: int) -> ClusterFeatures:
+    """Extract the feature vector of cluster ``cid`` from live state."""
+    intra = clustering.average_intra_similarity(cid)
+    size = clustering.size(cid)
+    max_inter = 0.0
+    partner_cid: int | None = None
+    partner_size = 0
+    for other, cross in clustering.neighbor_clusters(cid).items():
+        other_size = clustering.size(other)
+        avg = cross / (size * other_size)
+        if avg > max_inter:
+            max_inter = avg
+            partner_cid = other
+            partner_size = other_size
+    return ClusterFeatures(
+        intra=intra,
+        max_inter=max_inter,
+        size=size,
+        partner_size=partner_size,
+        partner_cid=partner_cid,
+    )
+
+
+def features_of_members(clustering: Clustering, members: frozenset[int]) -> ClusterFeatures:
+    """Features of a *hypothetical* cluster given by a member set.
+
+    Used when replaying evolution logs: the member set may not exist as
+    a live cluster, so statistics are computed from the graph directly,
+    and neighbour clusters are read from the clustering for the rest of
+    the objects.
+    """
+    graph = clustering.graph
+    n = len(members)
+    pairs = n * (n - 1) // 2
+    intra = graph.intra_weight(members) / pairs if pairs else 1.0
+
+    cross: dict[int, float] = {}
+    for obj_id in members:
+        for other, sim in graph.neighbors(obj_id).items():
+            if other in members or other not in clustering:
+                continue
+            other_cid = clustering.cluster_of(other)
+            cross[other_cid] = cross.get(other_cid, 0.0) + sim
+    max_inter = 0.0
+    partner_cid: int | None = None
+    partner_size = 0
+    for other_cid, weight in cross.items():
+        other_members = clustering.members_view(other_cid) - members
+        if not other_members:
+            continue
+        avg = weight / (n * len(other_members))
+        if avg > max_inter:
+            max_inter = avg
+            partner_cid = other_cid
+            partner_size = len(other_members)
+    return ClusterFeatures(
+        intra=intra,
+        max_inter=max_inter,
+        size=n,
+        partner_size=partner_size,
+        partner_cid=partner_cid,
+    )
+
+
+def merged_features(clustering: Clustering, cid_a: int, cid_b: int) -> ClusterFeatures:
+    """Features of the hypothetical merge of two live clusters.
+
+    Algorithm 1 picks the merge partner that *minimises* the merged
+    cluster's predicted merge probability ("the most stable clustering",
+    §6.2); this computes the feature vector that prediction needs.
+    """
+    size_a = clustering.size(cid_a)
+    size_b = clustering.size(cid_b)
+    size_m = size_a + size_b
+    pairs_m = size_m * (size_m - 1) // 2
+    intra_m = (
+        clustering.intra_weight(cid_a)
+        + clustering.intra_weight(cid_b)
+        + clustering.cross_weight(cid_a, cid_b)
+    )
+    intra = intra_m / pairs_m if pairs_m else 1.0
+
+    combined: dict[int, float] = {}
+    for source in (cid_a, cid_b):
+        for other, cross in clustering.neighbor_clusters(source).items():
+            if other in (cid_a, cid_b):
+                continue
+            combined[other] = combined.get(other, 0.0) + cross
+    max_inter = 0.0
+    partner_cid: int | None = None
+    partner_size = 0
+    for other, cross in combined.items():
+        other_size = clustering.size(other)
+        avg = cross / (size_m * other_size)
+        if avg > max_inter:
+            max_inter = avg
+            partner_cid = other
+            partner_size = other_size
+    return ClusterFeatures(
+        intra=intra,
+        max_inter=max_inter,
+        size=size_m,
+        partner_size=partner_size,
+        partner_cid=partner_cid,
+    )

@@ -1,0 +1,192 @@
+"""Merge algorithm — Algorithm 1 (§6.2).
+
+The Merge model only says *whether* a cluster should merge, not with
+whom (the pairwise formulation would be intractable, §5.2). Algorithm 1
+recovers the partner with two ideas:
+
+* clusters that ought to merge together are likely *both* predicted
+  "merge", so the candidate space is the predicted set ``Cl_merge``
+  (restricted here to similarity-graph neighbours — merging clusters
+  with zero cross similarity cannot improve any of the paper's
+  objectives);
+* among candidates, pick the partner whose hypothetical merged cluster
+  has the *lowest* predicted merge probability ``P(C_new = 1)`` — the
+  most *stable* result (§6.2).
+
+Every selected merge is verified against the objective function before
+being applied (§5.4 "Avoiding False Positives"); rejected predictions
+are reported so the caller can feed them back as negative samples.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.clustering.objectives.base import ObjectiveFunction
+from repro.clustering.state import Clustering
+
+from .config import DynamicCConfig
+from .features import ClusterFeatures, cluster_features, merged_features
+from .model import DynamicCModel
+
+
+@dataclass
+class MergeOutcome:
+    """What one run of Algorithm 1 did."""
+
+    predicted: int = 0
+    applied: list[tuple[int, int, int]] = field(default_factory=list)
+    verifications: int = 0
+    rejected: list[ClusterFeatures] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.applied)
+
+
+def merge_algorithm(
+    clustering: Clustering,
+    objective: ObjectiveFunction,
+    model: DynamicCModel,
+    candidates: Sequence[int],
+    config: DynamicCConfig | None = None,
+) -> MergeOutcome:
+    """Run Algorithm 1 over the candidate clusters.
+
+    Parameters
+    ----------
+    clustering:
+        Live clustering, mutated in place through the objective's
+        mutation gateway.
+    candidates:
+        Cluster ids the model should score (the runtime passes the
+        clusters in the changed similarity components, or all clusters
+        under ``candidate_scope="all"``).
+    """
+    config = config or DynamicCConfig()
+    outcome = MergeOutcome()
+
+    # Line 2: predict, collect Cl_merge.
+    alive = [cid for cid in candidates if clustering.contains_cluster(cid)]
+    features = [cluster_features(clustering, cid) for cid in alive]
+    if not features:
+        return outcome
+    probabilities = model.merge_probabilities(features)
+    ranked = sorted(
+        (
+            (prob, cid, feats)
+            for prob, cid, feats in zip(probabilities, alive, features)
+            if prob >= model.merge_theta
+        ),
+        key=lambda item: -item[0],
+    )
+    outcome.predicted = len(ranked)
+    cl_merge: set[int] = {cid for _, cid, _ in ranked}
+    queue: deque[tuple[float, int, ClusterFeatures]] = deque(ranked)
+
+    # Lines 3–13: repeatedly dequeue and try to merge.
+    while queue:
+        _, cid, feats = queue.popleft()
+        if cid not in cl_merge or not clustering.contains_cluster(cid):
+            continue
+        cl_merge.discard(cid)
+
+        # Partner selection among Cl_merge (§6.2): by default the cluster
+        # minimising P(merged = 1) — the most stable outcome; optionally
+        # the best objective delta (see DynamicCConfig.partner_selection).
+        partner: int | None = None
+        partner_score = float("inf")
+        partner_pool = list(clustering.neighbor_clusters(cid))
+        extra = objective.merge_candidates(clustering, cid)
+        if extra:
+            seen_pool = set(partner_pool)
+            partner_pool.extend(o for o in extra if o not in seen_pool)
+        # Without objective verification (Ablation A) the algorithm must
+        # not consult the objective at all, so partner selection falls
+        # back to the model-probability heuristic.
+        by_delta = (
+            config.partner_selection == "best-delta" and config.verify_with_objective
+        )
+        for other in partner_pool:
+            if other not in cl_merge or not clustering.contains_cluster(other):
+                continue
+            if by_delta:
+                score = objective.delta_merge(clustering, cid, other)
+                outcome.verifications += 1
+            else:
+                score = model.merge_probability(
+                    merged_features(clustering, cid, other)
+                )
+            if score < partner_score:
+                partner_score = score
+                partner = other
+        if partner is None:
+            continue
+
+        # Verify with the objective before applying (§5.4). In best-delta
+        # mode the partner's delta was just computed — it *is* the
+        # verification.
+        if config.verify_with_objective:
+            if by_delta:
+                delta = partner_score
+            else:
+                outcome.verifications += 1
+                delta = objective.delta_merge(clustering, cid, partner)
+            if not objective.improves(delta):
+                # Pairwise merge uphill: the cluster may still belong to a
+                # group whose complete merge improves (assembly barrier).
+                group = _chain_group(clustering, cid, cl_merge, config)
+                if group is not None:
+                    outcome.verifications += 1
+                    group_delta = objective.delta_merge_group(clustering, group)
+                    if objective.improves(group_delta):
+                        new_cid = objective.apply_merge_group(clustering, group)
+                        for member in group:
+                            cl_merge.discard(member)
+                        outcome.applied.append((cid, group[1], new_cid))
+                        continue
+                outcome.rejected.append(feats)
+                continue
+        new_cid = objective.apply_merge(clustering, cid, partner)
+        cl_merge.discard(partner)
+        outcome.applied.append((cid, partner, new_cid))
+        # Agglomeration continues within one run: if the merged cluster is
+        # itself predicted to merge, it rejoins Cl_merge ("this process
+        # continues until Cl_merge is empty", §6.2) — otherwise every
+        # chain of merges would cost one full Algorithm-3 iteration each.
+        new_feats = cluster_features(clustering, new_cid)
+        new_probability = model.merge_probability(new_feats)
+        if new_probability >= model.merge_theta:
+            cl_merge.add(new_cid)
+            queue.append((new_probability, new_cid, new_feats))
+    return outcome
+
+
+def _chain_group(
+    clustering: Clustering,
+    cid: int,
+    cl_merge: set[int],
+    config: DynamicCConfig,
+) -> list[int] | None:
+    """Chain of ``cid`` plus its closest Cl_merge neighbours (≥3 clusters)."""
+    if config.merge_chain_depth < 2:
+        return None
+    chain = [cid]
+    while len(chain) <= config.merge_chain_depth:
+        best_avg = config.merge_chain_threshold
+        best_next: int | None = None
+        for member in chain:
+            size_m = clustering.size(member)
+            for other, cross in clustering.neighbor_clusters(member).items():
+                if other in chain or other not in cl_merge:
+                    continue
+                avg = cross / (size_m * clustering.size(other))
+                if avg >= best_avg:
+                    best_avg = avg
+                    best_next = other
+        if best_next is None:
+            break
+        chain.append(best_next)
+    return chain if len(chain) >= 3 else None

@@ -1,0 +1,211 @@
+"""The DynamicC model bundle: Merge model + Split model + θ thresholds (§5).
+
+Each model is a binary classifier over the §5.1 cluster features. The
+bundle owns the θ decision thresholds of Eq. (2), set after fitting via
+the recall-first rule of §5.4, and exposes batched probability queries
+the runtime algorithms use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.ml.base import BinaryClassifier, ConstantClassifier
+from repro.ml.logistic import LogisticRegressionClassifier
+from repro.ml.metrics import accuracy, recall
+
+from .config import DynamicCConfig
+from .features import ClusterFeatures
+from .training import TrainingBuffer, select_theta
+
+ModelFactory = Callable[[], BinaryClassifier]
+
+
+@dataclass
+class FitReport:
+    """Training-set diagnostics produced by :meth:`DynamicCModel.fit`."""
+
+    merge_samples: int
+    split_samples: int
+    merge_accuracy: float
+    merge_recall: float
+    split_accuracy: float
+    split_recall: float
+    merge_theta: float
+    split_theta: float
+
+
+class DynamicCModel:
+    """Merge + Split classifiers with θ thresholds.
+
+    Parameters
+    ----------
+    merge_factory / split_factory:
+        Zero-argument callables building fresh classifiers (default:
+        logistic regression, the paper's default model).
+    config:
+        θ-selection settings.
+    """
+
+    def __init__(
+        self,
+        merge_factory: ModelFactory | None = None,
+        split_factory: ModelFactory | None = None,
+        config: DynamicCConfig | None = None,
+    ) -> None:
+        self._merge_factory = merge_factory or LogisticRegressionClassifier
+        self._split_factory = split_factory or (split_factory or self._merge_factory)
+        self.config = config or DynamicCConfig()
+        self.merge_model: BinaryClassifier | None = None
+        self.split_model: BinaryClassifier | None = None
+        self.merge_theta: float = 0.5
+        self.split_theta: float = 0.5
+
+    @property
+    def is_trained(self) -> bool:
+        return self.merge_model is not None and self.split_model is not None
+
+    # ------------------------------------------------------------------
+    def fit(self, buffer: TrainingBuffer) -> FitReport:
+        """Fit both models from the buffer and select θs (§5.4)."""
+        merge_X, merge_y = buffer.merge_matrix()
+        split_X, split_y = buffer.split_matrix()
+        if len(merge_y) == 0 and len(split_y) == 0:
+            raise ValueError("training buffer is empty")
+        # A side with no samples at all (e.g. a workload whose batch
+        # evolution never split a cluster) gets a constant "no change"
+        # model — the correct prediction until such evolution is seen.
+        if len(merge_y):
+            self.merge_model = self._merge_factory().fit(merge_X, merge_y)
+            self.merge_theta = select_theta(
+                self.merge_model,
+                merge_X,
+                merge_y,
+                quantile=self.config.theta_quantile,
+                floor=self.config.theta_floor,
+            )
+        else:
+            self.merge_model = ConstantClassifier(0.0)
+            self.merge_theta = 0.5
+        if len(split_y):
+            self.split_model = self._split_factory().fit(split_X, split_y)
+            self.split_theta = select_theta(
+                self.split_model,
+                split_X,
+                split_y,
+                quantile=self.config.theta_quantile,
+                floor=self.config.theta_floor,
+            )
+        else:
+            self.split_model = ConstantClassifier(0.0)
+            self.split_theta = 0.5
+        return FitReport(
+            merge_samples=len(merge_y),
+            split_samples=len(split_y),
+            merge_accuracy=(
+                accuracy(merge_y, self.merge_model.predict(merge_X))
+                if len(merge_y)
+                else 1.0
+            ),
+            merge_recall=(
+                recall(merge_y, self.merge_model.predict(merge_X))
+                if len(merge_y)
+                else 1.0
+            ),
+            split_accuracy=(
+                accuracy(split_y, self.split_model.predict(split_X))
+                if len(split_y)
+                else 1.0
+            ),
+            split_recall=(
+                recall(split_y, self.split_model.predict(split_X))
+                if len(split_y)
+                else 1.0
+            ),
+            merge_theta=self.merge_theta,
+            split_theta=self.split_theta,
+        )
+
+    def _require_trained(self) -> None:
+        if not self.is_trained:
+            raise RuntimeError(
+                "DynamicC model is not trained; run the training phase first"
+            )
+
+    # ------------------------------------------------------------------
+    # Probability queries
+    # ------------------------------------------------------------------
+    def merge_probabilities(self, features: Sequence[ClusterFeatures]) -> np.ndarray:
+        """Batched ``P(merge = 1)`` for a list of clusters."""
+        self._require_trained()
+        if not features:
+            return np.empty(0)
+        X = np.vstack([f.merge_vector() for f in features])
+        return self.merge_model.predict_proba(X)
+
+    def split_probabilities(self, features: Sequence[ClusterFeatures]) -> np.ndarray:
+        self._require_trained()
+        if not features:
+            return np.empty(0)
+        X = np.vstack([f.split_vector() for f in features])
+        return self.split_model.predict_proba(X)
+
+    def merge_probability(self, features: ClusterFeatures) -> float:
+        return float(self.merge_probabilities([features])[0])
+
+    def split_probability(self, features: ClusterFeatures) -> float:
+        return float(self.split_probabilities([features])[0])
+
+    def predicts_merge(self, features: ClusterFeatures) -> bool:
+        """Eq. (2): label 1 iff ``P ≥ θ``."""
+        return self.merge_probability(features) >= self.merge_theta
+
+    def predicts_split(self, features: ClusterFeatures) -> bool:
+        return self.split_probability(features) >= self.split_theta
+
+    # ------------------------------------------------------------------
+    # Persistence ("train once, serve" — the models survive restarts)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write the trained bundle (both models + θs) to a JSON file."""
+        import json
+        import pathlib
+
+        from repro.ml.persistence import model_to_dict
+
+        self._require_trained()
+        payload = {
+            "merge_model": model_to_dict(self.merge_model),
+            "split_model": model_to_dict(self.split_model),
+            "merge_theta": self.merge_theta,
+            "split_theta": self.split_theta,
+        }
+        pathlib.Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path, config: DynamicCConfig | None = None) -> "DynamicCModel":
+        """Load a bundle written by :meth:`save`."""
+        import json
+        import pathlib
+
+        from repro.ml.persistence import model_from_dict
+
+        payload = json.loads(pathlib.Path(path).read_text())
+        bundle = cls(config=config)
+        bundle.merge_model = model_from_dict(payload["merge_model"])
+        bundle.split_model = model_from_dict(payload["split_model"])
+        bundle.merge_theta = float(payload["merge_theta"])
+        bundle.split_theta = float(payload["split_theta"])
+        return bundle
+
+    def with_thetas(self, merge_theta: float, split_theta: float) -> "DynamicCModel":
+        """Shallow copy with different θs (the Fig. 4 trade-off sweep)."""
+        clone = DynamicCModel(self._merge_factory, self._split_factory, self.config)
+        clone.merge_model = self.merge_model
+        clone.split_model = self.split_model
+        clone.merge_theta = merge_theta
+        clone.split_theta = split_theta
+        return clone

@@ -1,0 +1,56 @@
+"""Negative sampling with active-cluster weighting (§5.3).
+
+Positive samples are the clusters involved in evolution operations;
+negatives are clusters the batch algorithm left unchanged. Unchanged
+clusters vastly outnumber changed ones, so we sample as many negatives
+as there are positives — uniformly, but with higher probability mass on
+"active" clusters: clusters inside the similarity-graph connected
+components touched by the round's changes, which the batch algorithm
+inspects repeatedly and which are therefore the informative negatives.
+The paper's weights are 0.7 (active) / 0.3 (non-active).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def sample_negatives(
+    active: Sequence[T],
+    inactive: Sequence[T],
+    count: int,
+    rng: np.random.Generator,
+    active_weight: float = 0.7,
+    inactive_weight: float = 0.3,
+) -> list[T]:
+    """Sample up to ``count`` negatives without replacement.
+
+    Each draw first picks the *group* (active vs inactive) with the
+    configured probability mass, then an item uniformly within the
+    group; exhausted groups cede their mass to the other. The result
+    order is the draw order.
+    """
+    if count <= 0:
+        return []
+    total_weight = active_weight + inactive_weight
+    if total_weight <= 0:
+        raise ValueError("weights must sum to a positive value")
+    p_active = active_weight / total_weight
+
+    active_pool = list(active)
+    inactive_pool = list(inactive)
+    rng.shuffle(active_pool)
+    rng.shuffle(inactive_pool)
+
+    chosen: list[T] = []
+    while len(chosen) < count and (active_pool or inactive_pool):
+        take_active = bool(active_pool) and (
+            not inactive_pool or rng.random() < p_active
+        )
+        pool = active_pool if take_active else inactive_pool
+        chosen.append(pool.pop())
+    return chosen

@@ -1,0 +1,13 @@
+"""Datasets, records, and dynamic workloads (Table 1 + §7.2)."""
+
+from .records import Dataset, Record
+from .workload import DynamicWorkload, OperationMix, Snapshot, build_workload
+
+__all__ = [
+    "Dataset",
+    "DynamicWorkload",
+    "OperationMix",
+    "Record",
+    "Snapshot",
+    "build_workload",
+]

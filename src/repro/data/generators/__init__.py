@@ -1,0 +1,16 @@
+"""Dataset generators reproducing the Table 1 workloads offline."""
+
+from .access import generate_access
+from .cora import generate_cora
+from .febrl import FebrlSimilarity, generate_febrl
+from .musicbrainz import generate_musicbrainz
+from .road import generate_road
+
+__all__ = [
+    "FebrlSimilarity",
+    "generate_access",
+    "generate_cora",
+    "generate_febrl",
+    "generate_musicbrainz",
+    "generate_road",
+]

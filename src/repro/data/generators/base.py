@@ -1,0 +1,91 @@
+"""Shared generator utilities: corruption, duplicate-count distributions.
+
+The Febrl tool the paper uses (its synthetic dataset, §7.1) produces
+*original* records plus *duplicates* derived by typographic corruption,
+with a user-chosen distribution of duplicates per original (uniform,
+Poisson, Zipf). These helpers reproduce those mechanics for all the
+textual generators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def typo(word: str, rng: np.random.Generator) -> str:
+    """Apply one random character-level edit (insert/delete/substitute/swap)."""
+    if not word:
+        return word
+    op = rng.integers(4)
+    pos = int(rng.integers(len(word)))
+    letter = _ALPHABET[int(rng.integers(len(_ALPHABET)))]
+    if op == 0:  # substitute
+        return word[:pos] + letter + word[pos + 1 :]
+    if op == 1:  # delete
+        return word[:pos] + word[pos + 1 :]
+    if op == 2:  # insert
+        return word[:pos] + letter + word[pos:]
+    # swap adjacent
+    if len(word) < 2:
+        return word
+    pos = min(pos, len(word) - 2)
+    return word[:pos] + word[pos + 1] + word[pos] + word[pos + 2 :]
+
+
+def corrupt_words(words: list[str], rng: np.random.Generator, edits: int = 1) -> list[str]:
+    """Corrupt a token list: typos on random tokens, occasional drops."""
+    result = list(words)
+    for _ in range(edits):
+        if not result:
+            break
+        action = rng.random()
+        idx = int(rng.integers(len(result)))
+        if action < 0.75:
+            result[idx] = typo(result[idx], rng)
+        elif len(result) > 2:
+            del result[idx]
+        else:
+            result[idx] = typo(result[idx], rng)
+    return [w for w in result if w]
+
+
+def duplicate_counts(
+    n_originals: int,
+    total_duplicates: int,
+    distribution: str,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Duplicates per original under the Febrl distributions (§7.1).
+
+    ``distribution`` is "uniform", "poisson" or "zipf"; counts are
+    scaled so their sum is ``total_duplicates``.
+    """
+    if n_originals < 1:
+        raise ValueError("need at least one original")
+    if distribution == "uniform":
+        raw = rng.uniform(0.5, 1.5, size=n_originals)
+    elif distribution == "poisson":
+        raw = rng.poisson(2.0, size=n_originals).astype(float) + 0.1
+    elif distribution == "zipf":
+        raw = rng.zipf(2.0, size=n_originals).astype(float)
+        raw = np.minimum(raw, 50.0)  # cap the heavy tail
+    else:
+        raise ValueError(f"unknown duplicate distribution {distribution!r}")
+    scaled = raw / raw.sum() * total_duplicates
+    counts = np.floor(scaled).astype(int)
+    # Distribute the rounding remainder to the largest fractional parts.
+    deficit = total_duplicates - int(counts.sum())
+    if deficit > 0:
+        order = np.argsort(-(scaled - counts))
+        counts[order[:deficit]] += 1
+    return counts
+
+
+def pick(vocab: list[str], rng: np.random.Generator) -> str:
+    return vocab[int(rng.integers(len(vocab)))]
+
+
+def pick_many(vocab: list[str], count: int, rng: np.random.Generator) -> list[str]:
+    return [pick(vocab, rng) for _ in range(count)]

@@ -1,0 +1,80 @@
+"""Record and dataset descriptors shared by all generators.
+
+A :class:`Record` couples an object id with a similarity-ready payload
+and a ground-truth entity id (the generator knows which records are
+duplicates/members of the same entity). A :class:`Dataset` bundles the
+records with everything needed to build the dynamic similarity graph —
+the Table 1 row of the workload, effectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.similarity.base import SimilarityFunction
+from repro.similarity.blocking import BruteForceIndex, CandidateIndex
+from repro.similarity.graph import SimilarityGraph
+
+Corruptor = Callable[[Any, np.random.Generator], Any]
+
+
+@dataclass(frozen=True)
+class Record:
+    """One database object."""
+
+    id: int
+    payload: Any
+    truth: int
+
+
+@dataclass
+class Dataset:
+    """A generated dataset plus its similarity configuration (Table 1).
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier used in reports.
+    similarity:
+        The dataset's pairwise measure.
+    records:
+        All records in arrival order (the dynamic workload consumes them
+        front to back).
+    index_factory:
+        Builds a fresh candidate index per similarity graph.
+    corrupt:
+        Payload perturbation used by Update operations.
+    store_threshold:
+        Similarity-graph storage cut-off for this dataset.
+    data_type:
+        "textual", "numerical", or "textual and numerical" (Table 1).
+    """
+
+    name: str
+    similarity: SimilarityFunction
+    records: list[Record]
+    index_factory: Callable[[], CandidateIndex] = BruteForceIndex
+    corrupt: Corruptor = field(default=lambda payload, rng: payload)
+    store_threshold: float = 0.2
+    data_type: str = "textual"
+
+    def graph(self) -> SimilarityGraph:
+        """A fresh, empty similarity graph configured for this dataset."""
+        return SimilarityGraph(
+            self.similarity,
+            index=self.index_factory(),
+            store_threshold=self.store_threshold,
+        )
+
+    def truth_labels(self) -> dict[int, int]:
+        """Ground-truth entity id per record id."""
+        return {record.id: record.truth for record in self.records}
+
+    def payloads(self) -> dict[int, Any]:
+        return {record.id: record.payload for record in self.records}
+
+    def __len__(self) -> int:
+        return len(self.records)

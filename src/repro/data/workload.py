@@ -1,0 +1,161 @@
+"""Dynamic workload driver (§7.2 "To mimic the dynamic process…").
+
+A workload is an initial record set followed by *snapshots* (rounds) of
+Add / Remove / Update operations, the mix of which follows Fig. 5(a):
+each snapshot adds a percentage of new objects and removes/updates a
+smaller percentage of live ones. Additions consume the dataset's record
+stream front-to-back (so a dataset's "# of initial objects" and "# of
+final objects" — Table 1 — fall out of the workload parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from .records import Dataset
+
+
+@dataclass
+class Snapshot:
+    """One round of data operations."""
+
+    added: dict[int, Any] = field(default_factory=dict)
+    removed: list[int] = field(default_factory=list)
+    updated: dict[int, Any] = field(default_factory=dict)
+
+    def counts(self) -> tuple[int, int, int]:
+        return len(self.added), len(self.removed), len(self.updated)
+
+    def changed_ids(self) -> set[int]:
+        return set(self.added) | set(self.removed) | set(self.updated)
+
+
+@dataclass
+class OperationMix:
+    """Per-snapshot operation percentages (of the current live size)."""
+
+    add: float = 0.15
+    remove: float = 0.03
+    update: float = 0.03
+
+
+@dataclass
+class DynamicWorkload:
+    """An initial state plus a sequence of snapshots over one dataset."""
+
+    dataset: Dataset
+    initial: dict[int, Any]
+    snapshots: list[Snapshot]
+
+    def final_object_count(self) -> int:
+        count = len(self.initial)
+        for snapshot in self.snapshots:
+            count += len(snapshot.added) - len(snapshot.removed)
+        return count
+
+    def live_ids_after(self, round_index: int) -> set[int]:
+        """Object ids alive after ``round_index`` snapshots (0 = initial)."""
+        live = set(self.initial)
+        for snapshot in self.snapshots[:round_index]:
+            live |= set(snapshot.added)
+            live -= set(snapshot.removed)
+        return live
+
+    def operation_table(self) -> list[tuple[int, float, float, float]]:
+        """Per-snapshot (index, add%, remove%, update%) — Fig. 5(a)'s data."""
+        rows = []
+        live = len(self.initial)
+        for index, snapshot in enumerate(self.snapshots, start=1):
+            n_add, n_remove, n_update = snapshot.counts()
+            base = max(live, 1)
+            rows.append(
+                (index, 100.0 * n_add / base, 100.0 * n_remove / base, 100.0 * n_update / base)
+            )
+            live += n_add - n_remove
+        return rows
+
+
+def build_workload(
+    dataset: Dataset,
+    initial_count: int,
+    n_snapshots: int,
+    mixes: OperationMix | Sequence[OperationMix] | None = None,
+    seed: int = 0,
+) -> DynamicWorkload:
+    """Slice a dataset's record stream into a dynamic workload.
+
+    Parameters
+    ----------
+    dataset:
+        Source of records (arrival order) and the ``corrupt`` function
+        used to synthesise Update payloads.
+    initial_count:
+        Records loaded before the first snapshot.
+    n_snapshots:
+        Number of rounds.
+    mixes:
+        One :class:`OperationMix` for all rounds, or one per round
+        (mirroring Fig. 5(a)'s per-snapshot variation). Defaults to the
+        Fig. 5(a)-style mix (≈15% adds, small remove/update rates).
+    """
+    if initial_count < 1:
+        raise ValueError("initial_count must be >= 1")
+    if initial_count > len(dataset.records):
+        raise ValueError("initial_count exceeds the dataset size")
+    if mixes is None:
+        mixes = OperationMix()
+    if isinstance(mixes, OperationMix):
+        mixes = [mixes] * n_snapshots
+    if len(mixes) != n_snapshots:
+        raise ValueError("need one OperationMix per snapshot")
+
+    rng = np.random.default_rng(seed)
+    stream = list(dataset.records)
+    cursor = initial_count
+    initial = {record.id: record.payload for record in stream[:initial_count]}
+    live: dict[int, Any] = dict(initial)
+    # Updates corrupt the *original* payload of a record (Febrl semantics:
+    # a modification of the source attributes), never the already-updated
+    # value — otherwise repeated updates compound into unbounded drift.
+    originals = {record.id: record.payload for record in stream}
+
+    snapshots: list[Snapshot] = []
+    for mix in mixes:
+        base = len(live)
+        n_add = min(int(round(mix.add * base)), len(stream) - cursor)
+        n_remove = min(int(round(mix.remove * base)), max(len(live) - 1, 0))
+        n_update = min(int(round(mix.update * base)), max(len(live) - n_remove, 0))
+
+        added = {
+            record.id: record.payload for record in stream[cursor : cursor + n_add]
+        }
+        cursor += n_add
+
+        removable = sorted(live.keys())
+        removed_ids = (
+            [int(i) for i in rng.choice(removable, size=n_remove, replace=False)]
+            if n_remove
+            else []
+        )
+        for obj_id in removed_ids:
+            del live[obj_id]
+
+        updatable = sorted(live.keys())
+        updated_ids = (
+            [int(i) for i in rng.choice(updatable, size=n_update, replace=False)]
+            if n_update
+            else []
+        )
+        updated = {
+            obj_id: dataset.corrupt(originals[obj_id], rng) for obj_id in updated_ids
+        }
+        live.update(updated)
+        live.update(added)
+
+        snapshots.append(
+            Snapshot(added=added, removed=removed_ids, updated=updated)
+        )
+    return DynamicWorkload(dataset=dataset, initial=initial, snapshots=snapshots)

@@ -1,0 +1,15 @@
+"""Clustering-quality metrics and reporting (§7.1 "Measurement")."""
+
+from .pair_metrics import PairMetrics, pair_f1, pair_metrics
+from .purity import inverse_purity, purity
+from .report import print_table, render_table
+
+__all__ = [
+    "PairMetrics",
+    "inverse_purity",
+    "pair_f1",
+    "pair_metrics",
+    "print_table",
+    "purity",
+    "render_table",
+]

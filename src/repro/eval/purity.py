@@ -1,0 +1,31 @@
+"""Purity [50] and inverse purity [9] (Table 3's extra metrics).
+
+Purity maps each candidate cluster to its best-matching reference
+cluster and measures the covered fraction; inverse purity swaps the
+roles. Purity rewards precision-like behaviour (homogeneous clusters),
+inverse purity rewards recall-like behaviour (complete clusters).
+"""
+
+from __future__ import annotations
+
+from .pair_metrics import _labels_of
+
+
+def purity(candidate, reference) -> float:
+    """(1/N) Σ over candidate clusters of max overlap with a reference cluster."""
+    cand = _labels_of(candidate)
+    ref = _labels_of(reference)
+    common = cand.keys() & ref.keys()
+    if not common:
+        return 1.0
+    overlap: dict[int, dict[int, int]] = {}
+    for obj_id in common:
+        row = overlap.setdefault(cand[obj_id], {})
+        r_label = ref[obj_id]
+        row[r_label] = row.get(r_label, 0) + 1
+    return sum(max(row.values()) for row in overlap.values()) / len(common)
+
+
+def inverse_purity(candidate, reference) -> float:
+    """Purity with the roles of candidate and reference swapped."""
+    return purity(reference, candidate)

@@ -1,0 +1,113 @@
+"""Cluster-evolution operations and the evolution log (§4).
+
+The paper represents *all* clustering change as sequences of two
+primitive operations over at most two clusters each:
+
+* **merge evolution** — two clusters become one (n-way merges decompose
+  into n−1 pairwise merges, §4.1);
+* **split evolution** — one cluster becomes two (a *move* is a split
+  followed by a merge).
+
+Steps are recorded by member sets, not by cluster ids, because ids are
+local to one clustering instance while the evolution history must stay
+meaningful across rounds and replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+
+@dataclass(frozen=True)
+class MergeOp:
+    """Two clusters merged into one."""
+
+    left: frozenset[int]
+    right: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if not self.left or not self.right:
+            raise ValueError("merge sides must be non-empty")
+        if self.left & self.right:
+            raise ValueError("merge sides must be disjoint")
+
+    @property
+    def result(self) -> frozenset[int]:
+        return self.left | self.right
+
+    def touched_objects(self) -> frozenset[int]:
+        return self.result
+
+    def involves(self, objects: set[int]) -> bool:
+        """True when the op touches any of the given objects."""
+        return bool(self.left & objects) or bool(self.right & objects)
+
+
+@dataclass(frozen=True)
+class SplitOp:
+    """One cluster split into ``part`` and the remainder."""
+
+    cluster: frozenset[int]
+    part: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if not self.part or not self.part < self.cluster:
+            raise ValueError("part must be a non-empty proper subset of cluster")
+
+    @property
+    def remainder(self) -> frozenset[int]:
+        return self.cluster - self.part
+
+    def touched_objects(self) -> frozenset[int]:
+        return self.cluster
+
+    def involves(self, objects: set[int]) -> bool:
+        return bool(self.cluster & objects)
+
+
+EvolutionOp = Union[MergeOp, SplitOp]
+
+
+@dataclass
+class EvolutionLog:
+    """Ordered record of evolution operations from one clustering run.
+
+    From-scratch batch runs append every applied step (§4.2); the
+    cross-round transformation algorithm (§4.3) produces one of these
+    describing only the old→new difference.
+    """
+
+    steps: list[EvolutionOp] = field(default_factory=list)
+
+    def append(self, op: EvolutionOp) -> None:
+        self.steps.append(op)
+
+    def record_merge(self, left: frozenset[int] | set[int], right: frozenset[int] | set[int]) -> MergeOp:
+        op = MergeOp(frozenset(left), frozenset(right))
+        self.steps.append(op)
+        return op
+
+    def record_split(self, cluster: frozenset[int] | set[int], part: frozenset[int] | set[int]) -> SplitOp:
+        op = SplitOp(frozenset(cluster), frozenset(part))
+        self.steps.append(op)
+        return op
+
+    def merges(self) -> Iterator[MergeOp]:
+        return (op for op in self.steps if isinstance(op, MergeOp))
+
+    def splits(self) -> Iterator[SplitOp]:
+        return (op for op in self.steps if isinstance(op, SplitOp))
+
+    def touching(self, objects: set[int]) -> "EvolutionLog":
+        """Sub-log of steps that touch any of the given objects (Phase 1, §4.3)."""
+        return EvolutionLog([op for op in self.steps if op.involves(objects)])
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[EvolutionOp]:
+        return iter(self.steps)
+
+    def __bool__(self) -> bool:
+        return bool(self.steps)

@@ -1,0 +1,27 @@
+"""From-scratch ML substrate (logistic regression, linear SVM, CART tree)."""
+
+from .base import BinaryClassifier, ConstantClassifier
+from .logistic import LogisticRegressionClassifier
+from .metrics import accuracy, confusion_matrix, f1_score, precision, recall
+from .scaler import StandardScaler
+from .persistence import load_model, model_from_dict, model_to_dict, save_model
+from .svm import LinearSVMClassifier
+from .tree import DecisionTreeClassifier
+
+__all__ = [
+    "BinaryClassifier",
+    "ConstantClassifier",
+    "DecisionTreeClassifier",
+    "LinearSVMClassifier",
+    "LogisticRegressionClassifier",
+    "StandardScaler",
+    "accuracy",
+    "confusion_matrix",
+    "f1_score",
+    "load_model",
+    "model_from_dict",
+    "model_to_dict",
+    "precision",
+    "recall",
+    "save_model",
+]

@@ -1,0 +1,84 @@
+"""Binary classifier interface for DynamicC's merge/split models.
+
+scikit-learn is the paper's model library (§7.1) but is not available
+offline, so :mod:`repro.ml` implements the three evaluated model
+families (logistic regression, SVM, decision tree — Table 4) from
+scratch on numpy. The interface mirrors the sklearn conventions the
+rest of the system expects: ``fit(X, y)``, ``predict_proba(X)`` giving
+``P(label = 1)``, and ``predict(X, threshold)`` implementing Eq. (2) —
+label 1 iff ``P ≥ θ``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+def as_2d(X) -> np.ndarray:
+    """Coerce input into a 2-D float array (single samples get a row)."""
+    array = np.asarray(X, dtype=float)
+    if array.ndim == 1:
+        array = array.reshape(1, -1)
+    if array.ndim != 2:
+        raise ValueError(f"expected 1-D or 2-D input, got shape {array.shape}")
+    return array
+
+
+def as_labels(y) -> np.ndarray:
+    """Coerce labels into a 0/1 int array."""
+    labels = np.asarray(y)
+    unique = set(np.unique(labels).tolist())
+    if not unique <= {0, 1}:
+        raise ValueError(f"labels must be binary 0/1, got {sorted(unique)}")
+    return labels.astype(int)
+
+
+class ConstantClassifier:
+    """Predicts a fixed probability regardless of input.
+
+    Used when one of DynamicC's models has no training signal at all —
+    e.g. a workload whose batch evolution contains no splits: the right
+    prediction is "never split" until split evolution is observed.
+    """
+
+    name = "constant"
+
+    def __init__(self, probability: float = 0.0) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.probability = probability
+
+    def fit(self, X, y) -> "ConstantClassifier":
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        return np.full(len(as_2d(X)), self.probability)
+
+    def predict(self, X, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(X) >= threshold).astype(int)
+
+
+class BinaryClassifier(ABC):
+    """A probabilistic binary classifier (Eq. 2 of the paper)."""
+
+    name: str = "classifier"
+
+    @abstractmethod
+    def fit(self, X, y) -> "BinaryClassifier":
+        """Train on samples ``X`` (n × d) with 0/1 labels ``y``."""
+
+    @abstractmethod
+    def predict_proba(self, X) -> np.ndarray:
+        """``P(label = 1)`` per sample, shape (n,)."""
+
+    def predict(self, X, threshold: float = 0.5) -> np.ndarray:
+        """Label 1 iff ``P(label = 1) ≥ threshold`` (Eq. 2)."""
+        return (self.predict_proba(X) >= threshold).astype(int)
+
+    def predict_one(self, x, threshold: float = 0.5) -> int:
+        return int(self.predict(as_2d(x), threshold)[0])
+
+    def proba_one(self, x) -> float:
+        return float(self.predict_proba(as_2d(x))[0])

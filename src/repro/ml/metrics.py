@@ -1,0 +1,55 @@
+"""Classification metrics (§5.4: accuracy, precision, recall)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def confusion_matrix(y_true, y_pred) -> np.ndarray:
+    """2×2 matrix ``M[actual][predicted]`` for binary labels.
+
+    The layout matches Figure 3 of the paper: rows are actual classes,
+    columns are predicted classes.
+    """
+    true = np.asarray(y_true, dtype=int)
+    pred = np.asarray(y_pred, dtype=int)
+    if true.shape != pred.shape:
+        raise ValueError("y_true and y_pred length mismatch")
+    matrix = np.zeros((2, 2), dtype=int)
+    for actual, predicted in zip(true, pred):
+        matrix[actual][predicted] += 1
+    return matrix
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of correct predictions."""
+    matrix = confusion_matrix(y_true, y_pred)
+    total = matrix.sum()
+    return float(matrix.trace() / total) if total else 0.0
+
+
+def precision(y_true, y_pred) -> float:
+    """TP / (TP + FP); 0 when nothing is predicted positive."""
+    matrix = confusion_matrix(y_true, y_pred)
+    predicted_positive = matrix[0][1] + matrix[1][1]
+    return float(matrix[1][1] / predicted_positive) if predicted_positive else 0.0
+
+
+def recall(y_true, y_pred) -> float:
+    """TP / (TP + FN); 1 when there are no actual positives.
+
+    §5.4 argues recall is *the* metric for DynamicC: missed positives
+    are unrecoverable while false positives are filtered by the
+    objective-function verification. With no actual positives nothing
+    can be missed, hence 1.
+    """
+    matrix = confusion_matrix(y_true, y_pred)
+    actual_positive = matrix[1][0] + matrix[1][1]
+    return float(matrix[1][1] / actual_positive) if actual_positive else 1.0
+
+
+def f1_score(y_true, y_pred) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(y_true, y_pred)
+    r = recall(y_true, y_pred)
+    return 2 * p * r / (p + r) if (p + r) else 0.0

@@ -1,0 +1,124 @@
+"""Model serialisation (JSON) for the ML substrate.
+
+DynamicC's deployment story is "train once while the batch algorithm
+runs, then serve" — which needs the trained Merge/Split models to
+survive process restarts. Models serialise to plain JSON (no pickle:
+the files are safe to share and diff).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from .base import BinaryClassifier, ConstantClassifier
+from .logistic import LogisticRegressionClassifier
+from .scaler import StandardScaler
+from .svm import LinearSVMClassifier
+from .tree import DecisionTreeClassifier, _Node
+
+
+def _scaler_to_dict(scaler: StandardScaler) -> dict:
+    return {
+        "mean": scaler.mean_.tolist() if scaler.mean_ is not None else None,
+        "scale": scaler.scale_.tolist() if scaler.scale_ is not None else None,
+    }
+
+
+def _scaler_from_dict(data: dict) -> StandardScaler:
+    scaler = StandardScaler()
+    if data["mean"] is not None:
+        scaler.mean_ = np.asarray(data["mean"], dtype=float)
+        scaler.scale_ = np.asarray(data["scale"], dtype=float)
+    return scaler
+
+
+def _tree_to_dict(node: _Node) -> dict:
+    data = {"probability": node.probability}
+    if not node.is_leaf:
+        data.update(
+            feature=node.feature,
+            threshold=node.threshold,
+            left=_tree_to_dict(node.left),
+            right=_tree_to_dict(node.right),
+        )
+    return data
+
+
+def _tree_from_dict(data: dict) -> _Node:
+    node = _Node(probability=data["probability"])
+    if "feature" in data:
+        node.feature = data["feature"]
+        node.threshold = data["threshold"]
+        node.left = _tree_from_dict(data["left"])
+        node.right = _tree_from_dict(data["right"])
+    return node
+
+
+def model_to_dict(model) -> dict:
+    """Serialise a fitted classifier to a JSON-compatible dict."""
+    if isinstance(model, LogisticRegressionClassifier):
+        if model.coef_ is None:
+            raise ValueError("model is not fitted")
+        return {
+            "kind": "logistic-regression",
+            "coef": model.coef_.tolist(),
+            "intercept": model.intercept_,
+            "scaler": _scaler_to_dict(model._scaler),
+        }
+    if isinstance(model, LinearSVMClassifier):
+        if model.coef_ is None:
+            raise ValueError("model is not fitted")
+        return {
+            "kind": "linear-svm",
+            "coef": model.coef_.tolist(),
+            "intercept": model.intercept_,
+            "platt_a": model._platt_a,
+            "platt_b": model._platt_b,
+            "scaler": _scaler_to_dict(model._scaler),
+        }
+    if isinstance(model, DecisionTreeClassifier):
+        if model._root is None:
+            raise ValueError("model is not fitted")
+        return {"kind": "decision-tree", "root": _tree_to_dict(model._root)}
+    if isinstance(model, ConstantClassifier):
+        return {"kind": "constant", "probability": model.probability}
+    raise TypeError(f"cannot serialise {type(model).__name__}")
+
+
+def model_from_dict(data: dict):
+    """Rebuild a classifier serialised by :func:`model_to_dict`."""
+    kind = data["kind"]
+    if kind == "logistic-regression":
+        model = LogisticRegressionClassifier()
+        model.coef_ = np.asarray(data["coef"], dtype=float)
+        model.intercept_ = float(data["intercept"])
+        model._scaler = _scaler_from_dict(data["scaler"])
+        return model
+    if kind == "linear-svm":
+        model = LinearSVMClassifier()
+        model.coef_ = np.asarray(data["coef"], dtype=float)
+        model.intercept_ = float(data["intercept"])
+        model._platt_a = float(data["platt_a"])
+        model._platt_b = float(data["platt_b"])
+        model._scaler = _scaler_from_dict(data["scaler"])
+        return model
+    if kind == "decision-tree":
+        model = DecisionTreeClassifier()
+        model._root = _tree_from_dict(data["root"])
+        return model
+    if kind == "constant":
+        return ConstantClassifier(data["probability"])
+    raise ValueError(f"unknown model kind {kind!r}")
+
+
+def save_model(model, path) -> None:
+    """Write a fitted classifier to a JSON file."""
+    pathlib.Path(path).write_text(json.dumps(model_to_dict(model)))
+
+
+def load_model(path):
+    """Load a classifier written by :func:`save_model`."""
+    return model_from_dict(json.loads(pathlib.Path(path).read_text()))

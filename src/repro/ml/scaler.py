@@ -1,0 +1,32 @@
+"""Feature standardisation for the linear models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import as_2d
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance scaling with constant-feature guard."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X) -> "StandardScaler":
+        data = as_2d(X)
+        self.mean_ = data.mean(axis=0)
+        std = data.std(axis=0)
+        # Constant features would divide by zero; leave them centred only.
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return (as_2d(X) - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)

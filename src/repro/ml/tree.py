@@ -1,0 +1,148 @@
+"""CART decision tree with Gini impurity (Table 4's third model family).
+
+Probabilities come from leaf class fractions (Laplace-smoothed so the
+θ-thresholding of Eq. (2) never sees hard 0/1 extremes from tiny
+leaves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import BinaryClassifier, as_2d, as_labels
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry a positive-class probability."""
+
+    probability: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p * p))
+
+
+class DecisionTreeClassifier(BinaryClassifier):
+    """Binary CART with axis-aligned splits on continuous features.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap.
+    min_samples_split:
+        Do not split nodes smaller than this.
+    min_gain:
+        Minimum Gini decrease for a split to be kept.
+    """
+
+    name = "decision-tree"
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_split: int = 4,
+        min_gain: float = 1e-7,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_gain = min_gain
+        self._root: _Node | None = None
+
+    def fit(self, X, y) -> "DecisionTreeClassifier":
+        data = as_2d(X)
+        labels = as_labels(y)
+        if len(labels) != len(data):
+            raise ValueError("X and y length mismatch")
+        self._root = self._build(data, labels, depth=0)
+        return self
+
+    def _leaf(self, labels: np.ndarray) -> _Node:
+        # Laplace smoothing keeps probabilities off the hard extremes.
+        positives = int(labels.sum())
+        return _Node(probability=(positives + 1.0) / (len(labels) + 2.0))
+
+    def _build(self, data: np.ndarray, labels: np.ndarray, depth: int) -> _Node:
+        if (
+            depth >= self.max_depth
+            or len(labels) < self.min_samples_split
+            or labels.min() == labels.max()
+        ):
+            return self._leaf(labels)
+        split = self._best_split(data, labels)
+        if split is None:
+            return self._leaf(labels)
+        feature, threshold = split
+        mask = data[:, feature] <= threshold
+        node = self._leaf(labels)
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(data[mask], labels[mask], depth + 1)
+        node.right = self._build(data[~mask], labels[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, data: np.ndarray, labels: np.ndarray
+    ) -> tuple[int, float] | None:
+        n, d = data.shape
+        parent_counts = np.array([(labels == 0).sum(), (labels == 1).sum()], dtype=float)
+        parent_gini = _gini(parent_counts)
+        best_gain = self.min_gain
+        best: tuple[int, float] | None = None
+        for feature in range(d):
+            order = np.argsort(data[:, feature], kind="stable")
+            values = data[order, feature]
+            sorted_labels = labels[order]
+            left_counts = np.zeros(2)
+            right_counts = parent_counts.copy()
+            for i in range(n - 1):
+                label = sorted_labels[i]
+                left_counts[label] += 1
+                right_counts[label] -= 1
+                if values[i] == values[i + 1]:
+                    continue  # cannot split between equal values
+                n_left, n_right = i + 1, n - i - 1
+                gain = parent_gini - (
+                    n_left * _gini(left_counts) + n_right * _gini(right_counts)
+                ) / n
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, (values[i] + values[i + 1]) / 2.0)
+        return best
+
+    def predict_proba(self, X) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("model is not fitted")
+        data = as_2d(X)
+        out = np.empty(len(data))
+        for i, row in enumerate(data):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.probability
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree (diagnostics)."""
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("model is not fitted")
+        return walk(self._root)

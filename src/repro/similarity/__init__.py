@@ -1,0 +1,36 @@
+"""Similarity substrate: measures, blocking indexes, and the dynamic graph."""
+
+from .base import SimilarityFunction, WeightedCombination, clamp01
+from .blocking import BruteForceIndex, CandidateIndex, TokenBlockingIndex
+from .euclidean import EuclideanSimilarity, euclidean_distance
+from .graph import SimilarityGraph
+from .grid_index import GridIndex
+from .jaccard import JaccardSimilarity, jaccard, tokenize
+from .levenshtein import (
+    LevenshteinSimilarity,
+    levenshtein_distance,
+    normalized_levenshtein,
+)
+from .trigram import CosineTrigramSimilarity, cosine_trigram, trigram_profile
+
+__all__ = [
+    "BruteForceIndex",
+    "CandidateIndex",
+    "CosineTrigramSimilarity",
+    "EuclideanSimilarity",
+    "GridIndex",
+    "JaccardSimilarity",
+    "LevenshteinSimilarity",
+    "SimilarityFunction",
+    "SimilarityGraph",
+    "TokenBlockingIndex",
+    "WeightedCombination",
+    "clamp01",
+    "cosine_trigram",
+    "euclidean_distance",
+    "jaccard",
+    "levenshtein_distance",
+    "normalized_levenshtein",
+    "tokenize",
+    "trigram_profile",
+]

@@ -1,0 +1,116 @@
+"""Candidate generation (blocking) for the dynamic similarity graph.
+
+Scoring every pair of objects is quadratic; record-linkage systems use
+*blocking* to propose only plausibly-similar candidate pairs. We provide
+three interchangeable indexes:
+
+* :class:`BruteForceIndex` — every other object is a candidate. Exact,
+  used in tests and for small workloads.
+* :class:`TokenBlockingIndex` — textual records share a block per token
+  (standard token blocking for entity resolution).
+* a spatial grid for numeric vectors lives in :mod:`repro.similarity.grid_index`.
+
+All indexes support dynamic add/remove, matching the paper's dynamic
+workload (add/remove/update operations, §3.1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import defaultdict
+from typing import Any, Callable, Iterable
+
+from .jaccard import tokenize
+
+
+class CandidateIndex(ABC):
+    """Dynamic index proposing candidate neighbours for a payload."""
+
+    @abstractmethod
+    def add(self, obj_id: int, payload: Any) -> None:
+        """Register an object with the index."""
+
+    @abstractmethod
+    def remove(self, obj_id: int, payload: Any) -> None:
+        """Remove a previously-added object."""
+
+    @abstractmethod
+    def candidates(self, payload: Any) -> set[int]:
+        """Object ids that could be similar to ``payload``.
+
+        The returned set may contain the querying object's own id; the
+        similarity graph filters self-pairs.
+        """
+
+
+class BruteForceIndex(CandidateIndex):
+    """All registered objects are candidates (exact, O(n) per query)."""
+
+    def __init__(self) -> None:
+        self._ids: set[int] = set()
+
+    def add(self, obj_id: int, payload: Any) -> None:
+        self._ids.add(obj_id)
+
+    def remove(self, obj_id: int, payload: Any) -> None:
+        self._ids.discard(obj_id)
+
+    def candidates(self, payload: Any) -> set[int]:
+        return set(self._ids)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+
+class TokenBlockingIndex(CandidateIndex):
+    """Token blocking: objects sharing at least one token are candidates.
+
+    Parameters
+    ----------
+    key:
+        Extracts the blocking tokens from a payload. Defaults to
+        tokenizing ``str(payload)``; dataset generators pass a custom key
+        returning pre-computed token sets.
+    max_block_size:
+        Tokens whose block grows beyond this many objects are treated as
+        stop words and stop generating candidates (a standard guard
+        against huge blocks dominating the candidate count). ``None``
+        disables the guard.
+    """
+
+    def __init__(
+        self,
+        key: Callable[[Any], Iterable[str]] | None = None,
+        max_block_size: int | None = 200,
+    ) -> None:
+        self._key = key if key is not None else lambda payload: tokenize(str(payload))
+        self._blocks: dict[str, set[int]] = defaultdict(set)
+        self._max_block_size = max_block_size
+
+    def add(self, obj_id: int, payload: Any) -> None:
+        for token in self._key(payload):
+            self._blocks[token].add(obj_id)
+
+    def remove(self, obj_id: int, payload: Any) -> None:
+        for token in self._key(payload):
+            block = self._blocks.get(token)
+            if block is None:
+                continue
+            block.discard(obj_id)
+            if not block:
+                del self._blocks[token]
+
+    def candidates(self, payload: Any) -> set[int]:
+        found: set[int] = set()
+        for token in self._key(payload):
+            block = self._blocks.get(token)
+            if block is None:
+                continue
+            if self._max_block_size is not None and len(block) > self._max_block_size:
+                continue
+            found.update(block)
+        return found
+
+    def block_sizes(self) -> dict[str, int]:
+        """Diagnostic: current block sizes keyed by token."""
+        return {token: len(block) for token, block in self._blocks.items()}

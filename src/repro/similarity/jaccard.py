@@ -1,0 +1,47 @@
+"""Jaccard similarity over token sets (used by the Cora-like dataset)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .base import SimilarityFunction
+
+
+def tokenize(text: str) -> frozenset[str]:
+    """Lower-case whitespace tokenization into a frozen token set."""
+    return frozenset(token for token in text.lower().split() if token)
+
+
+def jaccard(a: frozenset[str] | set[str], b: frozenset[str] | set[str]) -> float:
+    """Plain Jaccard coefficient ``|a ∩ b| / |a ∪ b|`` (0 for two empty sets)."""
+    if not a and not b:
+        return 0.0
+    intersection = len(a & b)
+    if intersection == 0:
+        return 0.0
+    return intersection / (len(a) + len(b) - intersection)
+
+
+class JaccardSimilarity(SimilarityFunction):
+    """Jaccard similarity between records exposing token sets.
+
+    Accepts either raw strings (tokenized on the fly), iterables of
+    tokens, or pre-computed ``frozenset`` payloads. Pre-tokenising once
+    per record and passing frozensets is the fast path used by the
+    dataset generators.
+    """
+
+    name = "jaccard"
+
+    def similarity(self, a, b) -> float:
+        return jaccard(self._as_tokens(a), self._as_tokens(b))
+
+    @staticmethod
+    def _as_tokens(value) -> frozenset[str]:
+        if isinstance(value, frozenset):
+            return value
+        if isinstance(value, str):
+            return tokenize(value)
+        if isinstance(value, Iterable):
+            return frozenset(value)
+        raise TypeError(f"cannot interpret {type(value)!r} as a token set")

@@ -1,0 +1,54 @@
+"""Normalized Levenshtein similarity (Yujian & Bo [49] style).
+
+Used (mixed with Jaccard) for the Febrl-like synthetic dataset, Table 1.
+"""
+
+from __future__ import annotations
+
+from .base import SimilarityFunction
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Classic edit distance with a two-row dynamic program.
+
+    O(len(a) * len(b)) time, O(min(len(a), len(b))) memory.
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    # Keep the inner loop over the shorter string.
+    if len(b) > len(a):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    current = [0] * (len(b) + 1)
+    for i, ch_a in enumerate(a, start=1):
+        current[0] = i
+        for j, ch_b in enumerate(b, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current[j] = min(
+                previous[j] + 1,      # deletion
+                current[j - 1] + 1,   # insertion
+                previous[j - 1] + cost,  # substitution
+            )
+        previous, current = current, previous
+    return previous[len(b)]
+
+
+def normalized_levenshtein(a: str, b: str) -> float:
+    """Similarity ``1 - d(a, b) / max(|a|, |b|)`` in [0, 1]."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+class LevenshteinSimilarity(SimilarityFunction):
+    """Normalized Levenshtein similarity between strings."""
+
+    name = "levenshtein"
+
+    def similarity(self, a: str, b: str) -> float:
+        return normalized_levenshtein(a, b)

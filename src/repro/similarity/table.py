@@ -1,0 +1,38 @@
+"""Table-driven similarity for hand-constructed examples and tests.
+
+The paper's running example (Figures 1 and 2) defines seven objects
+with explicit pairwise similarities; this class lets those examples be
+expressed directly.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from .base import SimilarityFunction
+
+
+class TableSimilarity(SimilarityFunction):
+    """Similarity given by an explicit symmetric table.
+
+    Parameters
+    ----------
+    pairs:
+        Mapping from 2-element payload tuples to similarity. Pairs are
+        looked up in both orders; missing pairs score 0.
+    """
+
+    name = "table"
+
+    def __init__(self, pairs: Mapping[tuple[Hashable, Hashable], float]) -> None:
+        self._table: dict[tuple[Hashable, Hashable], float] = {}
+        for (a, b), sim in pairs.items():
+            if not 0.0 <= sim <= 1.0:
+                raise ValueError(f"similarity {sim} for ({a}, {b}) not in [0, 1]")
+            self._table[(a, b)] = sim
+            self._table[(b, a)] = sim
+
+    def similarity(self, a: Hashable, b: Hashable) -> float:
+        if a == b:
+            return 1.0
+        return self._table.get((a, b), 0.0)

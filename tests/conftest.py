@@ -1,0 +1,44 @@
+"""Shared fixtures built on the paper's running example."""
+
+from __future__ import annotations
+
+import pytest
+
+from paper_example import (
+    PAPER_EDGES,
+    PAPER_FINAL_CLUSTERING,
+    PAPER_IDS,
+    PAPER_OBJECTS,
+    build_paper_graph,
+)
+from repro.clustering.state import Clustering
+from repro.similarity.graph import SimilarityGraph
+
+@pytest.fixture
+def paper_graph() -> SimilarityGraph:
+    return build_paper_graph()
+
+
+@pytest.fixture
+def paper_singletons(paper_graph) -> Clustering:
+    return Clustering.singletons(paper_graph)
+
+
+@pytest.fixture
+def paper_old_clustering(paper_graph) -> Clustering:
+    """The "Old Clustering" of Figure 1: C1 = {r1,r2,r3}, C2 = {r4,r5}
+    (over the first five objects only, r6/r7 not yet in any cluster)."""
+    clustering = Clustering(paper_graph)
+    c1 = clustering.add_singleton(PAPER_IDS["r1"])
+    c1 = clustering.merge(c1, clustering.add_singleton(PAPER_IDS["r2"]))
+    c1 = clustering.merge(c1, clustering.add_singleton(PAPER_IDS["r3"]))
+    c2 = clustering.add_singleton(PAPER_IDS["r4"])
+    c2 = clustering.merge(c2, clustering.add_singleton(PAPER_IDS["r5"]))
+    return clustering
+
+
+@pytest.fixture
+def tiny_cora():
+    from repro.data.generators import generate_cora
+
+    return generate_cora(n_entities=20, n_duplicates=60, seed=11)

@@ -1,0 +1,43 @@
+"""The paper's running example (Figures 1-2) as reusable constants."""
+
+from __future__ import annotations
+
+from repro.clustering.state import Clustering
+from repro.similarity.graph import SimilarityGraph
+from repro.similarity.table import TableSimilarity
+
+# The seven-object example of Figures 1 and 2. Edge weights chosen so
+# that F(L1) = 0.9·3 + 0.8 + 0.7 + 1 = 5.2 exactly as in Example 4.1.
+PAPER_EDGES = {
+    ("r1", "r7"): 1.0,
+    ("r1", "r2"): 0.9,
+    ("r2", "r3"): 0.9,
+    ("r4", "r5"): 0.9,
+    ("r4", "r6"): 0.8,
+    ("r5", "r6"): 0.7,
+}
+
+PAPER_OBJECTS = ["r1", "r2", "r3", "r4", "r5", "r6", "r7"]
+
+#: Object name → integer id used in graphs.
+PAPER_IDS = {name: idx + 1 for idx, name in enumerate(PAPER_OBJECTS)}
+
+#: The paper's final clustering {C'1, C'2, C'3} of Figure 2 (by id).
+PAPER_FINAL_CLUSTERING = frozenset(
+    {
+        frozenset({PAPER_IDS["r2"], PAPER_IDS["r3"]}),
+        frozenset({PAPER_IDS["r4"], PAPER_IDS["r5"], PAPER_IDS["r6"]}),
+        frozenset({PAPER_IDS["r1"], PAPER_IDS["r7"]}),
+    }
+)
+
+
+def build_paper_graph() -> SimilarityGraph:
+    """Graph of the running example, payloads are the object names."""
+    similarity = TableSimilarity(PAPER_EDGES)
+    graph = SimilarityGraph(similarity, store_threshold=0.05)
+    for name in PAPER_OBJECTS:
+        graph.add_object(PAPER_IDS[name], name)
+    return graph
+
+

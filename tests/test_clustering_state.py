@@ -1,0 +1,174 @@
+"""Unit tests for the Clustering state structure and its invariants."""
+
+import pytest
+
+from repro.clustering.state import Clustering
+
+from paper_example import PAPER_FINAL_CLUSTERING, PAPER_IDS
+
+
+class TestConstruction:
+    def test_singletons(self, paper_graph):
+        clustering = Clustering.singletons(paper_graph)
+        assert clustering.num_clusters() == 7
+        assert clustering.num_objects() == 7
+        clustering.check_invariants()
+
+    def test_from_groups(self, paper_graph):
+        clustering = Clustering.from_groups(
+            paper_graph, [sorted(group) for group in PAPER_FINAL_CLUSTERING]
+        )
+        assert clustering.as_partition() == PAPER_FINAL_CLUSTERING
+        clustering.check_invariants()
+
+    def test_from_labels(self, paper_graph):
+        labels = {PAPER_IDS["r1"]: 0, PAPER_IDS["r7"]: 0, PAPER_IDS["r2"]: 1}
+        clustering = Clustering.from_labels(paper_graph, labels)
+        assert clustering.num_clusters() == 2
+        assert clustering.cluster_of(PAPER_IDS["r1"]) == clustering.cluster_of(
+            PAPER_IDS["r7"]
+        )
+
+    def test_copy_is_independent(self, paper_singletons):
+        dup = paper_singletons.copy()
+        cid_a = dup.cluster_of(PAPER_IDS["r1"])
+        cid_b = dup.cluster_of(PAPER_IDS["r2"])
+        dup.merge(cid_a, cid_b)
+        assert paper_singletons.num_clusters() == 7
+        assert dup.num_clusters() == 6
+
+    def test_double_add_rejected(self, paper_singletons):
+        with pytest.raises(KeyError):
+            paper_singletons.add_singleton(PAPER_IDS["r1"])
+
+
+class TestMergeSplit:
+    def test_merge_updates_intra(self, paper_singletons):
+        c = paper_singletons
+        cid = c.merge(c.cluster_of(PAPER_IDS["r1"]), c.cluster_of(PAPER_IDS["r7"]))
+        assert c.intra_weight(cid) == pytest.approx(1.0)
+        assert c.size(cid) == 2
+        c.check_invariants()
+
+    def test_merge_mints_fresh_id(self, paper_singletons):
+        c = paper_singletons
+        a = c.cluster_of(PAPER_IDS["r1"])
+        b = c.cluster_of(PAPER_IDS["r2"])
+        new = c.merge(a, b)
+        assert new not in (a, b)
+        assert not c.contains_cluster(a)
+        assert not c.contains_cluster(b)
+
+    def test_merge_self_rejected(self, paper_singletons):
+        cid = paper_singletons.cluster_of(PAPER_IDS["r1"])
+        with pytest.raises(ValueError):
+            paper_singletons.merge(cid, cid)
+
+    def test_split_reverses_merge(self, paper_singletons):
+        c = paper_singletons
+        cid = c.merge(c.cluster_of(PAPER_IDS["r4"]), c.cluster_of(PAPER_IDS["r5"]))
+        cid = c.merge(cid, c.cluster_of(PAPER_IDS["r6"]))
+        rest, part = c.split(cid, {PAPER_IDS["r6"]})
+        assert c.members(part) == frozenset({PAPER_IDS["r6"]})
+        assert c.members(rest) == frozenset({PAPER_IDS["r4"], PAPER_IDS["r5"]})
+        assert c.intra_weight(rest) == pytest.approx(0.9)
+        c.check_invariants()
+
+    def test_split_requires_proper_subset(self, paper_singletons):
+        c = paper_singletons
+        cid = c.merge(c.cluster_of(PAPER_IDS["r4"]), c.cluster_of(PAPER_IDS["r5"]))
+        with pytest.raises(ValueError):
+            c.split(cid, {PAPER_IDS["r4"], PAPER_IDS["r5"]})
+        with pytest.raises(ValueError):
+            c.split(cid, set())
+
+    def test_average_intra_similarity_singleton_is_one(self, paper_singletons):
+        cid = paper_singletons.cluster_of(PAPER_IDS["r1"])
+        assert paper_singletons.average_intra_similarity(cid) == 1.0
+
+    def test_average_intra_similarity(self, paper_graph):
+        c = Clustering.from_groups(
+            paper_graph,
+            [[PAPER_IDS["r4"], PAPER_IDS["r5"], PAPER_IDS["r6"]]],
+        )
+        cid = next(iter(c.cluster_ids()))
+        assert c.average_intra_similarity(cid) == pytest.approx((0.9 + 0.8 + 0.7) / 3)
+
+
+class TestMoveAndRemove:
+    def test_move(self, paper_old_clustering):
+        c = paper_old_clustering
+        source = c.cluster_of(PAPER_IDS["r1"])
+        target = c.cluster_of(PAPER_IDS["r4"])
+        c.move(PAPER_IDS["r1"], target)
+        assert c.cluster_of(PAPER_IDS["r1"]) == target
+        assert c.size(source) == 2
+        c.check_invariants()
+
+    def test_move_last_member_dissolves_source(self, paper_singletons):
+        c = paper_singletons
+        source = c.cluster_of(PAPER_IDS["r1"])
+        target = c.cluster_of(PAPER_IDS["r2"])
+        c.move(PAPER_IDS["r1"], target)
+        assert not c.contains_cluster(source)
+        c.check_invariants()
+
+    def test_move_to_same_cluster_is_noop(self, paper_singletons):
+        c = paper_singletons
+        cid = c.cluster_of(PAPER_IDS["r1"])
+        assert c.move(PAPER_IDS["r1"], cid) == cid
+
+    def test_remove_object(self, paper_old_clustering):
+        c = paper_old_clustering
+        cid = c.cluster_of(PAPER_IDS["r2"])
+        before = c.intra_weight(cid)
+        c.remove_object(PAPER_IDS["r2"])
+        assert PAPER_IDS["r2"] not in c
+        # r2 carried the r1-r2 (0.9) and r2-r3 (0.9) intra edges.
+        assert c.intra_weight(c.cluster_of(PAPER_IDS["r1"])) == pytest.approx(
+            before - 1.8
+        )
+        c.check_invariants()
+
+    def test_remove_last_member_drops_cluster(self, paper_singletons):
+        c = paper_singletons
+        assert c.remove_object(PAPER_IDS["r1"]) is None
+        assert c.num_clusters() == 6
+
+
+class TestCrossClusterReads:
+    def test_cross_weight(self, paper_old_clustering):
+        c = paper_old_clustering
+        c1 = c.cluster_of(PAPER_IDS["r1"])
+        c2 = c.cluster_of(PAPER_IDS["r4"])
+        assert c.cross_weight(c1, c2) == 0.0
+
+    def test_neighbor_clusters(self, paper_graph):
+        c = Clustering.from_groups(
+            paper_graph,
+            [
+                [PAPER_IDS["r1"], PAPER_IDS["r2"]],
+                [PAPER_IDS["r3"]],
+                [PAPER_IDS["r7"]],
+            ],
+        )
+        cid = c.cluster_of(PAPER_IDS["r1"])
+        nbrs = c.neighbor_clusters(cid)
+        assert nbrs == {
+            c.cluster_of(PAPER_IDS["r3"]): pytest.approx(0.9),
+            c.cluster_of(PAPER_IDS["r7"]): pytest.approx(1.0),
+        }
+
+    def test_average_cross_similarity(self, paper_graph):
+        c = Clustering.from_groups(
+            paper_graph,
+            [[PAPER_IDS["r4"], PAPER_IDS["r5"]], [PAPER_IDS["r6"]]],
+        )
+        a = c.cluster_of(PAPER_IDS["r4"])
+        b = c.cluster_of(PAPER_IDS["r6"])
+        assert c.average_cross_similarity(a, b) == pytest.approx((0.8 + 0.7) / 2)
+
+    def test_labels_roundtrip(self, paper_old_clustering):
+        labels = paper_old_clustering.labels()
+        rebuilt = Clustering.from_labels(paper_old_clustering.graph, labels)
+        assert rebuilt.as_partition() == paper_old_clustering.as_partition()

@@ -1,0 +1,210 @@
+"""Tests for Algorithms 1–3 (merge, split, full DynamicC loop)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.objectives import CorrelationObjective
+from repro.clustering.state import Clustering
+from repro.core import (
+    DynamicCConfig,
+    DynamicCModel,
+    TrainingBuffer,
+    merge_algorithm,
+    rank_split_candidates,
+    split_algorithm,
+)
+from repro.core.features import ClusterFeatures
+
+from paper_example import PAPER_IDS
+
+R = PAPER_IDS
+
+
+def _trained_model(merge_bias: float = 1.0, split_bias: float = 1.0) -> DynamicCModel:
+    """A model fitted on synthetic data so it nominates high-inter clusters
+    for merging and low-cohesion clusters for splitting."""
+    rng = np.random.default_rng(0)
+    buffer = TrainingBuffer()
+    for _ in range(120):
+        # merge positives: high max_inter
+        buffer.add_merge_sample(
+            ClusterFeatures(
+                intra=float(rng.uniform(0.6, 1.0)),
+                max_inter=float(rng.uniform(0.5, 1.0) * merge_bias),
+                size=int(rng.integers(1, 5)),
+                partner_size=int(rng.integers(1, 5)),
+            ),
+            1,
+        )
+        buffer.add_merge_sample(
+            ClusterFeatures(
+                intra=float(rng.uniform(0.6, 1.0)),
+                max_inter=float(rng.uniform(0.0, 0.25)),
+                size=int(rng.integers(1, 8)),
+                partner_size=int(rng.integers(0, 8)),
+            ),
+            0,
+        )
+        # split positives: low intra cohesion
+        buffer.add_split_sample(
+            ClusterFeatures(
+                intra=float(rng.uniform(0.0, 0.45) / split_bias),
+                max_inter=float(rng.uniform(0.0, 0.6)),
+                size=int(rng.integers(3, 9)),
+                partner_size=0,
+            ),
+            1,
+        )
+        buffer.add_split_sample(
+            ClusterFeatures(
+                intra=float(rng.uniform(0.75, 1.0)),
+                max_inter=float(rng.uniform(0.0, 0.6)),
+                size=int(rng.integers(1, 9)),
+                partner_size=0,
+            ),
+            0,
+        )
+    model = DynamicCModel()
+    model.fit(buffer)
+    return model
+
+
+class TestMergeAlgorithm:
+    def test_merges_similar_singletons(self, paper_singletons):
+        c = paper_singletons
+        model = _trained_model()
+        objective = CorrelationObjective()
+        outcome = merge_algorithm(
+            c, objective, model, list(c.cluster_ids()), DynamicCConfig()
+        )
+        assert outcome.changed
+        # r1–r7 (sim 1.0) must end up together.
+        assert c.cluster_of(R["r1"]) == c.cluster_of(R["r7"])
+        c.check_invariants()
+
+    def test_verification_rejects_bad_merges(self, paper_graph):
+        # Put r1 and r4 (similarity 0) alone: the model may nominate, the
+        # objective must reject.
+        c = Clustering.from_groups(paper_graph, [[R["r1"]], [R["r4"]]])
+        model = _trained_model()
+        objective = CorrelationObjective()
+        outcome = merge_algorithm(
+            c, objective, model, list(c.cluster_ids()), DynamicCConfig()
+        )
+        assert c.num_clusters() == 2
+        assert not outcome.applied
+
+    def test_no_candidates_no_change(self, paper_singletons):
+        model = _trained_model()
+        outcome = merge_algorithm(
+            paper_singletons, CorrelationObjective(), model, [], DynamicCConfig()
+        )
+        assert not outcome.changed
+        assert outcome.predicted == 0
+
+    def test_verification_disabled_applies_prediction(self, paper_singletons):
+        c = paper_singletons
+        model = _trained_model()
+        config = DynamicCConfig(verify_with_objective=False)
+        outcome = merge_algorithm(
+            c, CorrelationObjective(), model, list(c.cluster_ids()), config
+        )
+        assert outcome.verifications == 0
+        assert outcome.changed
+
+    def test_outcome_counts_consistent(self, paper_singletons):
+        c = paper_singletons
+        model = _trained_model()
+        outcome = merge_algorithm(
+            c, CorrelationObjective(), model, list(c.cluster_ids()), DynamicCConfig()
+        )
+        assert outcome.predicted >= len(outcome.applied)
+
+
+class TestSplitAlgorithm:
+    def test_rank_most_different_first(self, paper_graph):
+        c = Clustering.from_groups(
+            paper_graph, [[R["r1"], R["r2"], R["r3"], R["r7"]]]
+        )
+        ranked = rank_split_candidates(c, c.cluster_of(R["r1"]))
+        # r7's only intra link is r1 (1.0); r3 has r2 (0.9); r2 has r1+r3
+        # (1.8); r1 has r2+r7 (1.9). Ascending: r7 or r3 first, r1 last.
+        assert ranked[-1] == R["r1"]
+        assert ranked[0] in (R["r3"], R["r7"])
+
+    def test_splits_incohesive_cluster(self, paper_graph):
+        # {r1, r4}: zero similarity inside, the split must be applied.
+        c = Clustering.from_groups(paper_graph, [[R["r1"], R["r4"]], [R["r7"]]])
+        model = _trained_model()
+        objective = CorrelationObjective()
+        outcome = split_algorithm(
+            c, objective, model, list(c.cluster_ids()), DynamicCConfig()
+        )
+        assert outcome.changed
+        assert c.cluster_of(R["r1"]) != c.cluster_of(R["r4"])
+        c.check_invariants()
+
+    def test_does_not_split_cohesive_cluster(self, paper_graph):
+        c = Clustering.from_groups(paper_graph, [[R["r4"], R["r5"], R["r6"]]])
+        model = _trained_model()
+        outcome = split_algorithm(
+            c, CorrelationObjective(), model, list(c.cluster_ids()), DynamicCConfig()
+        )
+        assert c.num_clusters() == 1
+        assert not outcome.applied
+
+    def test_splits_one_object_at_a_time(self, paper_graph):
+        # {r1, r4, r5}: r1 is disconnected; exactly one object leaves per run.
+        c = Clustering.from_groups(paper_graph, [[R["r1"], R["r4"], R["r5"]]])
+        model = _trained_model()
+        outcome = split_algorithm(
+            c, CorrelationObjective(), model, list(c.cluster_ids()), DynamicCConfig()
+        )
+        assert len(outcome.applied) <= 1
+        if outcome.applied:
+            sizes = sorted(c.size(cid) for cid in c.cluster_ids())
+            assert sizes == [1, 2]
+
+    def test_singletons_never_split(self, paper_singletons):
+        model = _trained_model()
+        outcome = split_algorithm(
+            paper_singletons,
+            CorrelationObjective(),
+            model,
+            list(paper_singletons.cluster_ids()),
+            DynamicCConfig(),
+        )
+        assert not outcome.applied
+        assert paper_singletons.num_clusters() == 7
+
+
+class TestModelBundle:
+    def test_untrained_raises(self):
+        model = DynamicCModel()
+        with pytest.raises(RuntimeError):
+            model.merge_probability(
+                ClusterFeatures(intra=1.0, max_inter=0.0, size=1, partner_size=0)
+            )
+
+    def test_fit_report_fields(self):
+        model = _trained_model()
+        assert model.is_trained
+        assert 0.0 < model.merge_theta < 1.0
+        assert 0.0 < model.split_theta < 1.0
+
+    def test_with_thetas_shares_models(self):
+        model = _trained_model()
+        clone = model.with_thetas(0.9, 0.9)
+        assert clone.merge_model is model.merge_model
+        assert clone.merge_theta == 0.9
+        assert model.merge_theta != 0.9 or model.merge_theta == 0.9  # original intact
+
+    def test_empty_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicCModel().fit(TrainingBuffer())
+
+    def test_predicts_merge_uses_theta(self):
+        model = _trained_model()
+        high_inter = ClusterFeatures(intra=0.9, max_inter=0.95, size=2, partner_size=2)
+        isolated = ClusterFeatures(intra=0.95, max_inter=0.0, size=3, partner_size=0)
+        assert model.merge_probability(high_inter) > model.merge_probability(isolated)

@@ -1,0 +1,81 @@
+"""End-to-end DynamicC over correlation clustering (Eq. 1).
+
+Correlation clustering is the paper's expository objective (§3.2 and
+every worked example); this exercises the full pipeline on it, on top
+of the DB-index integration suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering.baselines import NaiveIncremental
+from repro.clustering.batch import HillClimbing
+from repro.clustering.objectives import CorrelationObjective
+from repro.core import DynamicC
+from repro.data.generators import generate_musicbrainz
+from repro.data.workload import OperationMix, build_workload
+from repro.eval.harness import (
+    f1_against_reference,
+    run_batch_per_round,
+    run_incremental,
+)
+
+
+@pytest.fixture(scope="module")
+def correlation_setup():
+    dataset = generate_musicbrainz(n_entities=35, n_duplicates=105, seed=17)
+    workload = build_workload(
+        dataset,
+        initial_count=55,
+        n_snapshots=6,
+        mixes=OperationMix(add=0.18, remove=0.03, update=0.03),
+        seed=9,
+    )
+    reference = run_batch_per_round(
+        workload,
+        lambda: HillClimbing(CorrelationObjective()),
+        score_fn=lambda c: CorrelationObjective().score(c),
+    )
+    run = run_incremental(
+        workload,
+        lambda g: DynamicC(g, CorrelationObjective(), seed=0),
+        bootstrap=lambda g: HillClimbing(CorrelationObjective()).cluster(g),
+        train_rounds=3,
+        score_fn=lambda c: CorrelationObjective().score(c),
+    )
+    return workload, reference, run
+
+
+class TestCorrelationEndToEnd:
+    def test_quality_close_to_batch(self, correlation_setup):
+        _, reference, run = correlation_setup
+        metrics = f1_against_reference(run, reference)
+        assert np.mean([m.f1 for m in metrics]) > 0.85
+
+    def test_objective_tracks_batch(self, correlation_setup):
+        _, reference, run = correlation_setup
+        ref_scores = {r.index: r.score for r in reference.rounds}
+        for record in run.predict_rounds():
+            assert record.score <= ref_scores[record.index] * 1.25 + 1e-9
+
+    def test_faster_than_batch(self, correlation_setup):
+        _, reference, run = correlation_setup
+        predict_indices = {r.index for r in run.predict_rounds()}
+        batch_latency = sum(
+            r.latency for r in reference.rounds if r.index in predict_indices
+        )
+        assert run.total_latency() < batch_latency
+
+    def test_beats_naive(self, correlation_setup):
+        workload, reference, run = correlation_setup
+        naive = run_incremental(
+            workload,
+            lambda g: NaiveIncremental(g, threshold=0.45),
+            bootstrap=lambda g: HillClimbing(CorrelationObjective()).cluster(g),
+        )
+        predict_count = len(run.predict_rounds())
+        dyn_f1 = np.mean([m.f1 for m in f1_against_reference(run, reference)])
+        naive_f1 = np.mean(
+            [m.f1 for m in f1_against_reference(naive, reference)[-predict_count:]]
+        )
+        assert dyn_f1 > naive_f1

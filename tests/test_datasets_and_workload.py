@@ -1,0 +1,185 @@
+"""Tests for the dataset generators (Table 1 substitutes) and workloads."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    generate_access,
+    generate_cora,
+    generate_febrl,
+    generate_musicbrainz,
+    generate_road,
+)
+from repro.data.generators.base import duplicate_counts, typo
+from repro.data.workload import OperationMix, Snapshot, build_workload
+
+
+ALL_GENERATORS = [
+    lambda: generate_cora(n_entities=15, n_duplicates=45, seed=0),
+    lambda: generate_musicbrainz(n_entities=15, n_duplicates=45, seed=0),
+    lambda: generate_febrl(n_originals=15, n_duplicates=45, seed=0),
+    lambda: generate_access(n_profiles=5, n_records=60, seed=0),
+    lambda: generate_road(n_roads=4, points_per_road=15, seed=0),
+]
+
+
+@pytest.mark.parametrize("make", ALL_GENERATORS)
+class TestGeneratorContracts:
+    def test_unique_ids(self, make):
+        dataset = make()
+        ids = [record.id for record in dataset.records]
+        assert len(ids) == len(set(ids))
+
+    def test_truth_labels_cover_records(self, make):
+        dataset = make()
+        truth = dataset.truth_labels()
+        assert set(truth) == {record.id for record in dataset.records}
+
+    def test_graph_builds(self, make):
+        dataset = make()
+        graph = dataset.graph()
+        for record in dataset.records[:30]:
+            graph.add_object(record.id, record.payload)
+        assert len(graph) == 30
+
+    def test_corrupt_returns_same_type(self, make):
+        dataset = make()
+        rng = np.random.default_rng(0)
+        payload = dataset.records[0].payload
+        corrupted = dataset.corrupt(payload, rng)
+        assert type(corrupted) is type(payload)
+
+    def test_deterministic(self, make):
+        a, b = make(), make()
+        assert [r.id for r in a.records] == [r.id for r in b.records]
+        assert a.records[0].truth == b.records[0].truth
+
+
+class TestDuplicateStructure:
+    def test_duplicates_similar_to_original(self):
+        dataset = generate_cora(n_entities=20, n_duplicates=60, seed=1)
+        graph = dataset.graph()
+        for record in dataset.records:
+            graph.add_object(record.id, record.payload)
+        from collections import defaultdict
+
+        groups = defaultdict(list)
+        for record in dataset.records:
+            groups[record.truth].append(record.id)
+        sims = []
+        for members in groups.values():
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    sims.append(graph.similarity(members[i], members[j]))
+        assert np.mean(sims) > 0.6
+
+    def test_duplicate_counts_sum(self):
+        rng = np.random.default_rng(0)
+        for distribution in ("uniform", "poisson", "zipf"):
+            counts = duplicate_counts(50, 200, distribution, rng)
+            assert counts.sum() == 200
+            assert (counts >= 0).all()
+
+    def test_zipf_more_skewed_than_uniform(self):
+        rng = np.random.default_rng(1)
+        uniform = duplicate_counts(100, 400, "uniform", rng)
+        zipf = duplicate_counts(100, 400, "zipf", rng)
+        assert zipf.max() > uniform.max()
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            duplicate_counts(10, 10, "cauchy", np.random.default_rng(0))
+
+    def test_typo_changes_or_preserves_length_by_one(self):
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            word = "clustering"
+            mutated = typo(word, rng)
+            assert abs(len(mutated) - len(word)) <= 1
+
+
+class TestWorkload:
+    @pytest.fixture
+    def workload(self):
+        dataset = generate_cora(n_entities=20, n_duplicates=80, seed=3)
+        return build_workload(
+            dataset,
+            initial_count=30,
+            n_snapshots=4,
+            mixes=OperationMix(add=0.2, remove=0.05, update=0.05),
+            seed=1,
+        )
+
+    def test_initial_count(self, workload):
+        assert len(workload.initial) == 30
+
+    def test_ops_reference_live_objects(self, workload):
+        live = set(workload.initial)
+        for snapshot in workload.snapshots:
+            assert set(snapshot.removed) <= live
+            live -= set(snapshot.removed)
+            assert set(snapshot.updated) <= live
+            assert not (set(snapshot.added) & live)
+            live |= set(snapshot.added)
+
+    def test_final_object_count_consistent(self, workload):
+        live = set(workload.initial)
+        for snapshot in workload.snapshots:
+            live -= set(snapshot.removed)
+            live |= set(snapshot.added)
+        assert len(live) == workload.final_object_count()
+
+    def test_live_ids_after(self, workload):
+        assert workload.live_ids_after(0) == set(workload.initial)
+        final = workload.live_ids_after(len(workload.snapshots))
+        assert len(final) == workload.final_object_count()
+
+    def test_operation_table_shape(self, workload):
+        table = workload.operation_table()
+        assert len(table) == 4
+        for index, add, remove, update in table:
+            assert 0 <= add <= 100
+            assert 0 <= remove <= 100
+
+    def test_per_snapshot_mixes(self):
+        dataset = generate_cora(n_entities=20, n_duplicates=80, seed=3)
+        mixes = [
+            OperationMix(add=0.3, remove=0.0, update=0.0),
+            OperationMix(add=0.0, remove=0.1, update=0.0),
+        ]
+        workload = build_workload(dataset, 30, 2, mixes=mixes, seed=0)
+        assert len(workload.snapshots[0].added) == 9
+        assert not workload.snapshots[0].removed
+        assert len(workload.snapshots[1].removed) > 0
+
+    def test_updates_corrupt_from_original(self):
+        dataset = generate_cora(n_entities=10, n_duplicates=30, seed=5)
+        workload = build_workload(
+            dataset,
+            initial_count=20,
+            n_snapshots=3,
+            mixes=OperationMix(add=0.0, remove=0.0, update=0.5),
+            seed=2,
+        )
+        originals = {r.id: r.payload for r in dataset.records}
+        from repro.similarity.jaccard import jaccard
+
+        for snapshot in workload.snapshots:
+            for obj_id, payload in snapshot.updated.items():
+                # Updated payloads stay similar to the original record
+                # (no compounding drift).
+                assert jaccard(payload, originals[obj_id]) > 0.4
+
+    def test_validation(self):
+        dataset = generate_cora(n_entities=10, n_duplicates=10, seed=0)
+        with pytest.raises(ValueError):
+            build_workload(dataset, initial_count=0, n_snapshots=1)
+        with pytest.raises(ValueError):
+            build_workload(dataset, initial_count=10_000, n_snapshots=1)
+        with pytest.raises(ValueError):
+            build_workload(dataset, 5, 2, mixes=[OperationMix()])
+
+    def test_snapshot_changed_ids(self):
+        snapshot = Snapshot(added={1: "a"}, removed=[2], updated={3: "c"})
+        assert snapshot.changed_ids() == {1, 2, 3}
+        assert snapshot.counts() == (1, 1, 1)

@@ -1,0 +1,118 @@
+"""Tests for the density pseudo-objective (DynamicC-for-DBSCAN, §7.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.batch import DBSCAN
+from repro.clustering.state import Clustering
+from repro.core.density import DBSCANBatchAdapter, DensityObjective
+from repro.similarity import EuclideanSimilarity, SimilarityGraph
+
+
+@pytest.fixture
+def strand_graph():
+    """Two dense strands of 6 points each, 0.4 apart, strands far apart."""
+    rng = np.random.default_rng(5)
+    graph = SimilarityGraph(EuclideanSimilarity(scale=1.0), store_threshold=0.1)
+    obj_id = 0
+    strands = []
+    for base in ([0.0, 0.0], [30.0, 30.0]):
+        members = []
+        for i in range(6):
+            point = np.array(base) + np.array([i * 0.4, 0.0]) + rng.normal(0, 0.01, 2)
+            graph.add_object(obj_id, point)
+            members.append(obj_id)
+            obj_id += 1
+        strands.append(members)
+    return graph, strands
+
+
+SIM_EPS, MIN_PTS = 0.5, 3
+
+
+class TestDensityObjective:
+    def test_exact_dbscan_scores_zero(self, strand_graph):
+        graph, _ = strand_graph
+        result = DBSCAN(SIM_EPS, MIN_PTS).run(graph)
+        assert DensityObjective(SIM_EPS, MIN_PTS).score(result.clustering) == 0.0
+
+    def test_fragmented_clustering_has_violations(self, strand_graph):
+        graph, strands = strand_graph
+        # Split each strand in half: core-core ε edges now cross clusters.
+        groups = []
+        for members in strands:
+            groups.append(members[:3])
+            groups.append(members[3:])
+        clustering = Clustering.from_groups(graph, groups)
+        assert DensityObjective(SIM_EPS, MIN_PTS).score(clustering) > 0.0
+
+    def test_merge_justified_for_density_connected(self, strand_graph):
+        graph, strands = strand_graph
+        clustering = Clustering.from_groups(
+            graph, [strands[0][:3], strands[0][3:], strands[1]]
+        )
+        objective = DensityObjective(SIM_EPS, MIN_PTS)
+        a = clustering.cluster_of(strands[0][0])
+        b = clustering.cluster_of(strands[0][3])
+        assert objective.delta_merge(clustering, a, b) < 0
+
+    def test_merge_rejected_for_distant_clusters(self, strand_graph):
+        graph, strands = strand_graph
+        clustering = Clustering.from_groups(graph, [strands[0], strands[1]])
+        objective = DensityObjective(SIM_EPS, MIN_PTS)
+        a = clustering.cluster_of(strands[0][0])
+        b = clustering.cluster_of(strands[1][0])
+        assert objective.delta_merge(clustering, a, b) > 0
+
+    def test_split_justified_for_detached_member(self, strand_graph):
+        graph, strands = strand_graph
+        # An isolated far-away point forced into the strand's cluster is
+        # not ε-reachable from any core member: the split is justified.
+        graph.add_object(99, np.array([100.0, 100.0]))
+        clustering = Clustering.from_groups(graph, [strands[0] + [99], strands[1]])
+        objective = DensityObjective(SIM_EPS, MIN_PTS)
+        cid = clustering.cluster_of(strands[0][0])
+        assert objective.delta_split(clustering, cid, {99}) < 0
+
+    def test_split_rejected_for_attached_member(self, strand_graph):
+        graph, strands = strand_graph
+        clustering = Clustering.from_groups(graph, [strands[0], strands[1]])
+        objective = DensityObjective(SIM_EPS, MIN_PTS)
+        cid = clustering.cluster_of(strands[0][0])
+        assert objective.delta_split(clustering, cid, {strands[0][2]}) > 0
+
+    def test_singleton_border_merge(self, strand_graph):
+        graph, strands = strand_graph
+        # A border point adjacent to a core is merged even if not core itself.
+        graph.add_object(99, np.array([-0.45, 0.0]))
+        clustering = Clustering.from_groups(graph, [strands[0], strands[1], [99]])
+        objective = DensityObjective(SIM_EPS, MIN_PTS)
+        a = clustering.cluster_of(99)
+        b = clustering.cluster_of(strands[0][0])
+        assert objective.delta_merge(clustering, a, b) < 0
+
+    def test_group_merge_always_rejected(self, strand_graph):
+        graph, strands = strand_graph
+        clustering = Clustering.from_groups(
+            graph, [strands[0][:3], strands[0][3:], strands[1]]
+        )
+        objective = DensityObjective(SIM_EPS, MIN_PTS)
+        assert objective.delta_merge_group(clustering, list(clustering.cluster_ids())) > 0
+
+    def test_core_cache_invalidated_on_graph_change(self, strand_graph):
+        graph, strands = strand_graph
+        objective = DensityObjective(SIM_EPS, MIN_PTS)
+        assert objective._is_core(graph, strands[0][1])
+        # Removing the neighbours demotes the point from core status.
+        graph.remove_object(strands[0][0])
+        graph.remove_object(strands[0][2])
+        graph.remove_object(strands[0][3])
+        assert not objective._is_core(graph, strands[0][1])
+
+
+class TestDBSCANBatchAdapter:
+    def test_matches_dbscan(self, strand_graph):
+        graph, _ = strand_graph
+        direct = DBSCAN(SIM_EPS, MIN_PTS).run(graph).clustering
+        adapted = DBSCANBatchAdapter(SIM_EPS, MIN_PTS).cluster(graph)
+        assert adapted.as_partition() == direct.as_partition()

@@ -1,0 +1,97 @@
+"""Tests for pair metrics, purity, and the report renderer."""
+
+import pytest
+
+from repro.eval import (
+    inverse_purity,
+    pair_f1,
+    pair_metrics,
+    purity,
+    render_table,
+)
+
+
+class TestPairMetrics:
+    def test_identical_clusterings(self):
+        groups = [{1, 2, 3}, {4, 5}]
+        m = pair_metrics(groups, groups)
+        assert m.precision == 1.0 and m.recall == 1.0 and m.f1 == 1.0
+
+    def test_all_singletons_vs_one_cluster(self):
+        singletons = [{1}, {2}, {3}]
+        together = [{1, 2, 3}]
+        m = pair_metrics(singletons, together)
+        assert m.precision == 1.0  # no candidate pairs: vacuous precision
+        assert m.recall == 0.0
+        assert m.f1 == 0.0
+
+    def test_counts(self):
+        candidate = [{1, 2}, {3, 4}]
+        reference = [{1, 2, 3}, {4}]
+        m = pair_metrics(candidate, reference)
+        assert m.candidate_pairs == 2
+        assert m.reference_pairs == 3
+        assert m.true_pairs == 1
+        assert m.precision == pytest.approx(0.5)
+        assert m.recall == pytest.approx(1 / 3)
+
+    def test_restricts_to_common_objects(self):
+        candidate = {1: 0, 2: 0}
+        reference = {1: 0, 2: 0, 3: 0}
+        m = pair_metrics(candidate, reference)
+        assert m.reference_pairs == 1  # pair (1,2) only
+        assert m.f1 == 1.0
+
+    def test_accepts_label_mappings(self):
+        a = {1: "x", 2: "x", 3: "y"}
+        b = {1: 0, 2: 0, 3: 1}
+        assert pair_f1(a, b) == 1.0
+
+    def test_accepts_clustering_objects(self, paper_old_clustering):
+        assert pair_f1(paper_old_clustering, paper_old_clustering) == 1.0
+
+    def test_symmetric_f1(self):
+        a = [{1, 2}, {3, 4, 5}]
+        b = [{1, 2, 3}, {4, 5}]
+        assert pair_f1(a, b) == pytest.approx(pair_f1(b, a))
+
+
+class TestPurity:
+    def test_perfect(self):
+        groups = [{1, 2}, {3}]
+        assert purity(groups, groups) == 1.0
+        assert inverse_purity(groups, groups) == 1.0
+
+    def test_over_merged_candidate(self):
+        candidate = [{1, 2, 3, 4}]
+        reference = [{1, 2}, {3, 4}]
+        assert purity(candidate, reference) == pytest.approx(0.5)
+        assert inverse_purity(candidate, reference) == 1.0
+
+    def test_over_split_candidate(self):
+        candidate = [{1}, {2}, {3}, {4}]
+        reference = [{1, 2}, {3, 4}]
+        assert purity(candidate, reference) == 1.0
+        assert inverse_purity(candidate, reference) == pytest.approx(0.5)
+
+    def test_empty_overlap(self):
+        assert purity({1: 0}, {2: 0}) == 1.0
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        table = render_table(
+            ["name", "value"], [["a", 1.23456], ["long-name", 2]], precision=2
+        )
+        lines = table.splitlines()
+        assert "name" in lines[0]
+        assert "1.23" in table
+        assert len(set(len(line) for line in lines)) <= 2  # aligned widths
+
+    def test_title(self):
+        table = render_table(["x"], [[1]], title="Table 9")
+        assert table.startswith("Table 9")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])

@@ -1,0 +1,169 @@
+"""Tests for evolution ops (§4.1) and cross-round derivation (§4.3),
+anchored on the paper's own Example 4.2."""
+
+import pytest
+
+from repro.core.transformation import (
+    derive_transformation,
+    replay_transformation,
+    two_phase_transformation,
+)
+from repro.evolution import EvolutionLog, MergeOp, SplitOp
+
+from paper_example import PAPER_IDS
+
+R = PAPER_IDS  # shorthand
+
+
+class TestOps:
+    def test_merge_result(self):
+        op = MergeOp(frozenset({1, 2}), frozenset({3}))
+        assert op.result == frozenset({1, 2, 3})
+        assert op.touched_objects() == frozenset({1, 2, 3})
+
+    def test_merge_requires_disjoint(self):
+        with pytest.raises(ValueError):
+            MergeOp(frozenset({1}), frozenset({1, 2}))
+
+    def test_merge_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            MergeOp(frozenset(), frozenset({1}))
+
+    def test_split_remainder(self):
+        op = SplitOp(frozenset({1, 2, 3}), frozenset({1}))
+        assert op.remainder == frozenset({2, 3})
+
+    def test_split_requires_proper_subset(self):
+        with pytest.raises(ValueError):
+            SplitOp(frozenset({1, 2}), frozenset({1, 2}))
+
+    def test_involves(self):
+        op = SplitOp(frozenset({1, 2, 3}), frozenset({1}))
+        assert op.involves({3})
+        assert not op.involves({9})
+
+
+class TestEvolutionLog:
+    def test_record_and_filter(self):
+        log = EvolutionLog()
+        log.record_merge({1}, {2})
+        log.record_split({1, 2, 3}, {3})
+        assert len(log) == 2
+        assert len(list(log.merges())) == 1
+        assert len(list(log.splits())) == 1
+        assert len(log.touching({3})) == 1
+
+    def test_bool(self):
+        assert not EvolutionLog()
+        log = EvolutionLog()
+        log.record_merge({1}, {2})
+        assert log
+
+
+class TestDeriveTransformation:
+    def test_identity_needs_no_steps(self):
+        partition = [{1, 2}, {3}]
+        assert len(derive_transformation(partition, partition)) == 0
+
+    def test_single_merge(self):
+        log = derive_transformation([{1}, {2}], [{1, 2}])
+        assert len(log) == 1
+        assert isinstance(log.steps[0], MergeOp)
+
+    def test_single_split(self):
+        log = derive_transformation([{1, 2}], [{1}, {2}])
+        assert len(log) == 1
+        assert isinstance(log.steps[0], SplitOp)
+
+    def test_replay_reaches_target(self):
+        old = [{1, 2, 3}, {4, 5}, {6}, {7}]
+        new = [{2, 3}, {1, 7}, {4, 5, 6}]
+        log = derive_transformation(old, new)
+        result = replay_transformation(old, log)
+        assert result == frozenset(frozenset(g) for g in new)
+
+    def test_mismatched_objects_rejected(self):
+        with pytest.raises(ValueError):
+            derive_transformation([{1}], [{1}, {2}])
+
+    def test_example_4_2_shape(self, paper_old_clustering):
+        """Example 4.2: old {C1={r1,r2,r3}, C2={r4,r5}} + singletons r6, r7
+        evolve to {C'1={r2,r3}, C'2={r4,r5,r6}, C'3={r1,r7}} via one split
+        of C1 and two merges."""
+        old = [
+            {R["r1"], R["r2"], R["r3"]},
+            {R["r4"], R["r5"]},
+            {R["r6"]},
+            {R["r7"]},
+        ]
+        new = [
+            {R["r2"], R["r3"]},
+            {R["r4"], R["r5"], R["r6"]},
+            {R["r1"], R["r7"]},
+        ]
+        log = derive_transformation(old, new)
+        splits = list(log.splits())
+        merges = list(log.merges())
+        assert len(splits) == 1
+        assert splits[0].cluster == frozenset({R["r1"], R["r2"], R["r3"]})
+        assert splits[0].part in (
+            frozenset({R["r1"]}),
+            frozenset({R["r2"], R["r3"]}),
+        )
+        assert len(merges) == 2
+        assert replay_transformation(old, log) == frozenset(
+            frozenset(g) for g in new
+        )
+
+    def test_deterministic(self):
+        old = [{1, 2, 3}, {4, 5}, {6}, {7}]
+        new = [{2, 3}, {1, 7}, {4, 5, 6}]
+        a = derive_transformation(old, new).steps
+        b = derive_transformation(old, new).steps
+        assert a == b
+
+
+class TestTwoPhaseTransformation:
+    def test_example_4_2(self):
+        """The literal Phase 1 / Phase 2 walkthrough of Example 4.2."""
+        batch_log = EvolutionLog()
+        # Steps 1–4 of Figure 2's from-scratch run.
+        batch_log.record_merge({R["r2"]}, {R["r3"]})
+        batch_log.record_merge({R["r4"]}, {R["r5"]})
+        batch_log.record_merge({R["r1"]}, {R["r7"]})
+        batch_log.record_merge({R["r4"], R["r5"]}, {R["r6"]})
+        old = [
+            {R["r1"], R["r2"], R["r3"]},
+            {R["r4"], R["r5"]},
+            {R["r6"]},
+            {R["r7"]},
+        ]
+        new = [
+            {R["r2"], R["r3"]},
+            {R["r4"], R["r5"], R["r6"]},
+            {R["r1"], R["r7"]},
+        ]
+        changed = {R["r6"], R["r7"]}
+        log = two_phase_transformation(batch_log, old, new, changed)
+        # Phase 1 keeps steps 3 and 4 (the ones touching r6/r7); Phase 2
+        # adds the split of C1 into {r1} and {r2, r3} — "Change 3".
+        kept_merges = list(log.merges())
+        assert MergeOp(frozenset({R["r1"]}), frozenset({R["r7"]})) in kept_merges
+        assert (
+            MergeOp(frozenset({R["r4"], R["r5"]}), frozenset({R["r6"]}))
+            in kept_merges
+        )
+        splits = list(log.splits())
+        assert len(splits) == 1
+        assert splits[0].cluster == frozenset({R["r1"], R["r2"], R["r3"]})
+
+    def test_keeps_only_latest_change_per_object(self):
+        batch_log = EvolutionLog()
+        batch_log.record_merge({1}, {2})
+        batch_log.record_split({1, 2}, {2})
+        old = [{1}, {2}]
+        new = [{1}, {2}]
+        log = two_phase_transformation(batch_log, old, new, changed={2})
+        # Only the split (the later step touching 2) is kept.
+        assert len(list(log.splits())) == 1
+        assert len(list(log.merges())) == 0

@@ -1,0 +1,84 @@
+"""Tests for §5.1 feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.state import Clustering
+from repro.core.features import (
+    cluster_features,
+    features_of_members,
+    merged_features,
+)
+
+from paper_example import PAPER_IDS
+
+R = PAPER_IDS
+
+
+class TestClusterFeatures:
+    def test_singleton_features(self, paper_singletons):
+        feats = cluster_features(
+            paper_singletons, paper_singletons.cluster_of(R["r1"])
+        )
+        assert feats.intra == 1.0  # singleton cohesion convention
+        assert feats.size == 1
+        assert feats.max_inter == pytest.approx(1.0)  # r1–r7 edge
+        assert feats.partner_size == 1
+
+    def test_pair_features(self, paper_graph):
+        c = Clustering.from_groups(
+            paper_graph, [[R["r4"], R["r5"]], [R["r6"]], [R["r1"]]]
+        )
+        feats = cluster_features(c, c.cluster_of(R["r4"]))
+        assert feats.intra == pytest.approx(0.9)
+        assert feats.size == 2
+        # Neighbour cluster {r6} at average (0.8 + 0.7) / 2.
+        assert feats.max_inter == pytest.approx(0.75)
+        assert feats.partner_cid == c.cluster_of(R["r6"])
+        assert feats.partner_size == 1
+
+    def test_isolated_cluster_has_zero_inter(self, paper_graph):
+        c = Clustering.from_groups(
+            paper_graph, [[R["r4"], R["r5"], R["r6"]]]
+        )
+        feats = cluster_features(c, c.cluster_of(R["r4"]))
+        assert feats.max_inter == 0.0
+        assert feats.partner_cid is None
+
+    def test_vectors(self, paper_singletons):
+        feats = cluster_features(
+            paper_singletons, paper_singletons.cluster_of(R["r1"])
+        )
+        assert feats.merge_vector().shape == (4,)
+        assert feats.split_vector().shape == (3,)
+        np.testing.assert_allclose(
+            feats.merge_vector()[:3], feats.split_vector()
+        )
+
+
+class TestMergedFeatures:
+    def test_matches_actual_merge(self, paper_singletons):
+        c = paper_singletons
+        a = c.cluster_of(R["r4"])
+        b = c.cluster_of(R["r5"])
+        hypothetical = merged_features(c, a, b)
+        merged_cid = c.merge(a, b)
+        actual = cluster_features(c, merged_cid)
+        assert hypothetical.intra == pytest.approx(actual.intra)
+        assert hypothetical.max_inter == pytest.approx(actual.max_inter)
+        assert hypothetical.size == actual.size
+        assert hypothetical.partner_size == actual.partner_size
+
+
+class TestFeaturesOfMembers:
+    def test_matches_live_cluster(self, paper_graph):
+        c = Clustering.from_groups(
+            paper_graph,
+            [[R["r4"], R["r5"]], [R["r6"]], [R["r1"], R["r2"], R["r3"]], [R["r7"]]],
+        )
+        cid = c.cluster_of(R["r4"])
+        live = cluster_features(c, cid)
+        by_members = features_of_members(c, frozenset({R["r4"], R["r5"]}))
+        assert by_members.intra == pytest.approx(live.intra)
+        assert by_members.max_inter == pytest.approx(live.max_inter)
+        assert by_members.size == live.size

@@ -1,0 +1,73 @@
+"""Unit tests for the uniform grid index."""
+
+import numpy as np
+import pytest
+
+from repro.similarity.grid_index import GridIndex
+
+
+class TestGridIndex:
+    def test_nearby_points_are_candidates(self):
+        grid = GridIndex(cell_size=1.0)
+        grid.add(1, [0.5, 0.5])
+        grid.add(2, [0.8, 0.6])
+        grid.add(3, [5.0, 5.0])
+        assert grid.candidates([0.6, 0.6]) == {1, 2}
+
+    def test_adjacent_cell_candidates(self):
+        grid = GridIndex(cell_size=1.0)
+        grid.add(1, [0.95, 0.5])
+        assert 1 in grid.candidates([1.05, 0.5])  # neighbouring cell
+
+    def test_within_radius_exact(self):
+        grid = GridIndex(cell_size=1.0)
+        grid.add(1, [0.0, 0.0])
+        grid.add(2, [0.9, 0.0])
+        grid.add(3, [0.0, 0.95])
+        assert sorted(grid.within_radius([0.0, 0.0], 0.92)) == [1, 2]
+
+    def test_large_radius_query(self):
+        grid = GridIndex(cell_size=1.0)
+        for i in range(10):
+            grid.add(i, [float(i), 0.0])
+        hits = grid.within_radius([0.0, 0.0], 3.5)
+        assert sorted(hits) == [0, 1, 2, 3]
+
+    def test_remove(self):
+        grid = GridIndex(cell_size=1.0)
+        grid.add(1, [0.5, 0.5])
+        grid.remove(1)
+        assert grid.candidates([0.5, 0.5]) == set()
+        assert len(grid) == 0
+
+    def test_remove_missing_is_noop(self):
+        grid = GridIndex(cell_size=1.0)
+        grid.remove(42)  # should not raise
+
+    def test_contains(self):
+        grid = GridIndex(cell_size=1.0)
+        grid.add(7, [1.0, 1.0])
+        assert 7 in grid
+        assert 8 not in grid
+
+    def test_negative_coordinates(self):
+        grid = GridIndex(cell_size=1.0)
+        grid.add(1, [-0.5, -0.5])
+        grid.add(2, [-0.6, -0.4])
+        assert grid.candidates([-0.5, -0.5]) == {1, 2}
+
+    def test_projected_dims(self):
+        # Cells on the first 2 coordinates only; distance filter uses all 4.
+        grid = GridIndex(cell_size=1.0, dims=2)
+        grid.add(1, [0.5, 0.5, 100.0, 100.0])
+        grid.add(2, [0.5, 0.5, 0.0, 0.0])
+        assert grid.candidates([0.5, 0.5, 0.0, 0.0]) == {1, 2}
+        assert grid.within_radius([0.5, 0.5, 0.0, 0.0], 1.0) == [2]
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            GridIndex(cell_size=0.0)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            GridIndex(cell_size=1.0, dims=0)

@@ -1,0 +1,120 @@
+"""Tests for the experiment harness (GreedySet/DynamicSet, timing, F1)."""
+
+import pytest
+
+from repro.clustering.baselines import GreedyIncremental, NaiveIncremental
+from repro.clustering.batch import HillClimbing
+from repro.clustering.objectives import DBIndexObjective
+from repro.core import DynamicC
+from repro.data.generators import generate_cora
+from repro.data.workload import OperationMix, build_workload
+from repro.eval.harness import (
+    f1_against_reference,
+    run_batch_per_round,
+    run_incremental,
+)
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    dataset = generate_cora(n_entities=25, n_duplicates=75, seed=31)
+    return build_workload(
+        dataset,
+        initial_count=40,
+        n_snapshots=5,
+        mixes=OperationMix(add=0.2, remove=0.02, update=0.03),
+        seed=4,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(small_workload):
+    return run_batch_per_round(
+        small_workload,
+        lambda: HillClimbing(DBIndexObjective()),
+        score_fn=lambda c: DBIndexObjective().score(c),
+    )
+
+
+class TestBatchRunner:
+    def test_one_round_per_snapshot_plus_initial(self, small_workload, reference):
+        assert len(reference.rounds) == len(small_workload.snapshots) + 1
+        assert reference.rounds[0].index == 0
+
+    def test_labels_cover_live_objects(self, small_workload, reference):
+        for i, record in enumerate(reference.rounds):
+            assert set(record.labels) == small_workload.live_ids_after(i)
+
+    def test_scores_recorded(self, reference):
+        assert all(r.score is not None for r in reference.rounds)
+
+    def test_latencies_positive(self, reference):
+        assert all(r.latency > 0 for r in reference.rounds)
+
+
+class TestIncrementalRunner:
+    def test_observe_rounds_tagged(self, small_workload):
+        run = run_incremental(
+            small_workload,
+            lambda g: DynamicC(g, DBIndexObjective(), seed=0),
+            bootstrap=lambda g: HillClimbing(DBIndexObjective()).cluster(g),
+            train_rounds=2,
+        )
+        phases = [r.phase for r in run.rounds]
+        assert phases == ["observe", "observe", "predict", "predict", "predict"]
+        assert run.train_time > 0
+
+    def test_consuming_all_snapshots_for_training_rejected(self, small_workload):
+        with pytest.raises(ValueError):
+            run_incremental(
+                small_workload,
+                lambda g: DynamicC(g, DBIndexObjective(), seed=0),
+                bootstrap=lambda g: HillClimbing(DBIndexObjective()).cluster(g),
+                train_rounds=99,
+            )
+
+    def test_default_bootstrap_is_singletons(self, small_workload):
+        run = run_incremental(
+            small_workload, lambda g: NaiveIncremental(g, threshold=0.4)
+        )
+        initial_ids = set(small_workload.initial)
+        assert set(run.bootstrap_labels) == initial_ids
+        assert len(set(run.bootstrap_labels.values())) == len(initial_ids)
+
+    def test_greedyset_resets_each_round(self, small_workload, reference):
+        greedy = run_incremental(
+            small_workload,
+            lambda g: GreedyIncremental(g, DBIndexObjective()),
+            bootstrap=lambda g: HillClimbing(DBIndexObjective()).cluster(g),
+        )
+        greedyset = run_incremental(
+            small_workload,
+            lambda g: DynamicC(g, DBIndexObjective(), seed=0),
+            bootstrap=lambda g: HillClimbing(DBIndexObjective()).cluster(g),
+            train_rounds=2,
+            reset_from=greedy,
+            name="dynamicc-greedyset",
+        )
+        assert greedyset.name == "dynamicc-greedyset"
+        assert len(greedyset.predict_rounds()) == 3
+
+    def test_f1_alignment_by_snapshot_index(self, small_workload, reference):
+        run = run_incremental(
+            small_workload,
+            lambda g: NaiveIncremental(g, threshold=0.4),
+            bootstrap=lambda g: HillClimbing(DBIndexObjective()).cluster(g),
+        )
+        metrics = f1_against_reference(run, reference)
+        assert len(metrics) == len(run.predict_rounds())
+        assert all(0.0 <= m.f1 <= 1.0 for m in metrics)
+
+    def test_method_runs_share_workload_state(self, small_workload, reference):
+        # Two independent runs over the same workload see identical live sets.
+        a = run_incremental(
+            small_workload, lambda g: NaiveIncremental(g, threshold=0.4)
+        )
+        b = run_incremental(
+            small_workload, lambda g: NaiveIncremental(g, threshold=0.4)
+        )
+        for ra, rb in zip(a.rounds, b.rounds):
+            assert set(ra.labels) == set(rb.labels)

@@ -1,0 +1,275 @@
+"""Unit tests for the three objective functions, anchored on the paper's
+own arithmetic (Example 4.1) and on brute-force delta checks."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.objectives import (
+    CorrelationObjective,
+    DBIndexObjective,
+    KMeansObjective,
+)
+from repro.clustering.state import Clustering
+from repro.similarity import EuclideanSimilarity, SimilarityGraph
+
+from paper_example import PAPER_FINAL_CLUSTERING, PAPER_IDS
+
+
+class TestCorrelationObjective:
+    def test_example_4_1_singletons(self, paper_singletons):
+        # F(L1) = 0.9·3 + 0.8 + 0.7 + 1 = 5.2
+        assert CorrelationObjective().score(paper_singletons) == pytest.approx(5.2)
+
+    def test_example_4_1_after_first_merge(self, paper_singletons):
+        # Merging r1 and r7 yields F(L2) = 4.2 (Example 4.1).
+        c = paper_singletons
+        c.merge(c.cluster_of(PAPER_IDS["r1"]), c.cluster_of(PAPER_IDS["r7"]))
+        assert CorrelationObjective().score(c) == pytest.approx(4.2)
+
+    def test_delta_merge_matches_score_difference(self, paper_singletons):
+        obj = CorrelationObjective()
+        c = paper_singletons
+        a = c.cluster_of(PAPER_IDS["r1"])
+        b = c.cluster_of(PAPER_IDS["r7"])
+        delta = obj.delta_merge(c, a, b)
+        before = obj.score(c)
+        c.merge(a, b)
+        assert before + delta == pytest.approx(obj.score(c))
+
+    def test_delta_split_inverse_of_merge(self, paper_graph):
+        obj = CorrelationObjective()
+        c = Clustering.from_groups(
+            paper_graph, [[PAPER_IDS["r4"], PAPER_IDS["r5"], PAPER_IDS["r6"]]]
+        )
+        cid = next(iter(c.cluster_ids()))
+        delta_split = obj.delta_split(c, cid, {PAPER_IDS["r6"]})
+        rest, part = c.split(cid, {PAPER_IDS["r6"]})
+        delta_merge = obj.delta_merge(c, rest, part)
+        assert delta_split == pytest.approx(-delta_merge)
+
+    def test_delta_move_matches_brute_force(self, paper_old_clustering):
+        obj = CorrelationObjective()
+        c = paper_old_clustering
+        target = c.cluster_of(PAPER_IDS["r4"])
+        fast = obj.delta_move(c, PAPER_IDS["r1"], target)
+        trial = c.copy()
+        before = obj.score(trial)
+        trial.move(PAPER_IDS["r1"], target)
+        assert fast == pytest.approx(obj.score(trial) - before)
+
+    def test_group_delta_matches_sequential(self, paper_singletons):
+        obj = CorrelationObjective()
+        c = paper_singletons
+        group = [
+            c.cluster_of(PAPER_IDS["r4"]),
+            c.cluster_of(PAPER_IDS["r5"]),
+            c.cluster_of(PAPER_IDS["r6"]),
+        ]
+        fast = obj.delta_merge_group(c, group)
+        trial = c.copy()
+        before = obj.score(trial)
+        current = group[0]
+        for cid in group[1:]:
+            current = trial.merge(current, cid)
+        assert fast == pytest.approx(obj.score(trial) - before)
+
+    def test_paper_final_clustering_beats_singletons(self, paper_graph):
+        obj = CorrelationObjective()
+        singletons = Clustering.singletons(paper_graph)
+        final = Clustering.from_groups(paper_graph, PAPER_FINAL_CLUSTERING)
+        assert obj.score(final) < obj.score(singletons)
+
+
+class TestDBIndexObjective:
+    def _graph_and_clustering(self, paper_graph):
+        return paper_graph, Clustering.from_groups(
+            paper_graph, PAPER_FINAL_CLUSTERING
+        )
+
+    def test_score_nonnegative(self, paper_graph):
+        _, c = self._graph_and_clustering(paper_graph)
+        assert DBIndexObjective().score(c) >= 0.0
+
+    def test_db_mean_is_score_over_k(self, paper_graph):
+        _, c = self._graph_and_clustering(paper_graph)
+        obj = DBIndexObjective()
+        assert obj.db_mean(c) == pytest.approx(obj.score(c) / c.num_clusters())
+
+    def test_delta_merge_exact(self, paper_graph):
+        obj = DBIndexObjective()
+        c = Clustering.singletons(paper_graph)
+        a = c.cluster_of(PAPER_IDS["r4"])
+        b = c.cluster_of(PAPER_IDS["r5"])
+        fast = obj.delta_merge(c, a, b)
+        trial = c.copy()
+        trial.merge(a, b)
+        slow = DBIndexObjective().score(trial) - DBIndexObjective().score(c)
+        assert fast == pytest.approx(slow)
+
+    def test_delta_split_exact(self, paper_graph):
+        obj = DBIndexObjective()
+        c = Clustering.from_groups(paper_graph, PAPER_FINAL_CLUSTERING)
+        cid = c.cluster_of(PAPER_IDS["r4"])
+        fast = obj.delta_split(c, cid, {PAPER_IDS["r6"]})
+        trial = c.copy()
+        trial.split(cid, {PAPER_IDS["r6"]})
+        slow = DBIndexObjective().score(trial) - DBIndexObjective().score(c)
+        assert fast == pytest.approx(slow)
+
+    def test_delta_move_exact(self, paper_old_clustering):
+        obj = DBIndexObjective()
+        c = paper_old_clustering
+        target = c.cluster_of(PAPER_IDS["r4"])
+        fast = obj.delta_move(c, PAPER_IDS["r3"], target)
+        trial = c.copy()
+        trial.move(PAPER_IDS["r3"], target)
+        slow = DBIndexObjective().score(trial) - DBIndexObjective().score(c)
+        assert fast == pytest.approx(slow)
+
+    def test_group_delta_exact(self, paper_graph):
+        obj = DBIndexObjective()
+        c = Clustering.singletons(paper_graph)
+        group = [
+            c.cluster_of(PAPER_IDS["r4"]),
+            c.cluster_of(PAPER_IDS["r5"]),
+            c.cluster_of(PAPER_IDS["r6"]),
+        ]
+        fast = obj.delta_merge_group(c, group)
+        trial = c.copy()
+        current = group[0]
+        for cid in group[1:]:
+            current = trial.merge(current, cid)
+        slow = DBIndexObjective().score(trial) - DBIndexObjective().score(c)
+        assert fast == pytest.approx(slow)
+
+    def test_cache_consistent_after_gateway_mutations(self, paper_graph):
+        obj = DBIndexObjective()
+        c = Clustering.singletons(paper_graph)
+        obj.apply_merge(c, c.cluster_of(PAPER_IDS["r4"]), c.cluster_of(PAPER_IDS["r5"]))
+        obj.apply_merge(c, c.cluster_of(PAPER_IDS["r4"]), c.cluster_of(PAPER_IDS["r6"]))
+        obj.apply_split(c, c.cluster_of(PAPER_IDS["r4"]), {PAPER_IDS["r6"]})
+        assert obj.score(c) == pytest.approx(DBIndexObjective().score(c))
+
+    def test_base_scatter_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DBIndexObjective(base_scatter=0.0)
+
+    def test_good_clustering_beats_singletons(self, paper_graph):
+        obj = DBIndexObjective()
+        singles = Clustering.singletons(paper_graph)
+        final = Clustering.from_groups(paper_graph, PAPER_FINAL_CLUSTERING)
+        assert DBIndexObjective().score(final) < obj.score(singles)
+
+
+def _vector_graph():
+    """Six 2-D points in two tight groups."""
+    points = {
+        1: np.array([0.0, 0.0]),
+        2: np.array([0.1, 0.0]),
+        3: np.array([0.0, 0.1]),
+        4: np.array([5.0, 5.0]),
+        5: np.array([5.1, 5.0]),
+        6: np.array([5.0, 5.1]),
+    }
+    graph = SimilarityGraph(EuclideanSimilarity(scale=1.0), store_threshold=0.01)
+    for obj_id, point in points.items():
+        graph.add_object(obj_id, point)
+    return graph, points
+
+
+class TestKMeansObjective:
+    def test_perfect_partition_scores_low(self):
+        graph, _ = _vector_graph()
+        obj = KMeansObjective(k=2, penalty=100.0)
+        good = Clustering.from_groups(graph, [[1, 2, 3], [4, 5, 6]])
+        bad = Clustering.from_groups(graph, [[1, 2, 4], [3, 5, 6]])
+        assert obj.score(good) < obj.score(bad)
+
+    def test_penalty_applies_off_k(self):
+        graph, _ = _vector_graph()
+        obj = KMeansObjective(k=2, penalty=100.0)
+        three = Clustering.from_groups(graph, [[1, 2, 3], [4, 5], [6]])
+        two = Clustering.from_groups(graph, [[1, 2, 3], [4, 5, 6]])
+        assert obj.score(three) > obj.score(two) + 99.0
+
+    def test_delta_merge_matches_brute_force(self):
+        graph, _ = _vector_graph()
+        obj = KMeansObjective(k=2, penalty=100.0)
+        c = Clustering.from_groups(graph, [[1, 2], [3], [4, 5, 6]])
+        a = c.cluster_of(1)
+        b = c.cluster_of(3)
+        fast = obj.delta_merge(c, a, b)
+        trial = c.copy()
+        before = obj.score(trial)
+        trial.merge(a, b)
+        assert fast == pytest.approx(obj.score(trial) - before)
+
+    def test_delta_split_matches_brute_force(self):
+        graph, _ = _vector_graph()
+        obj = KMeansObjective(k=3, penalty=100.0)
+        c = Clustering.from_groups(graph, [[1, 2, 3], [4, 5, 6]])
+        cid = c.cluster_of(1)
+        fast = obj.delta_split(c, cid, {3})
+        trial = c.copy()
+        before = obj.score(trial)
+        trial.split(cid, {3})
+        assert fast == pytest.approx(obj.score(trial) - before)
+
+    def test_delta_move_matches_brute_force(self):
+        graph, _ = _vector_graph()
+        obj = KMeansObjective(k=2, penalty=100.0)
+        c = Clustering.from_groups(graph, [[1, 2, 4], [3, 5, 6]])
+        fast = obj.delta_move(c, 4, c.cluster_of(5))
+        trial = c.copy()
+        before = obj.score(trial)
+        trial.move(4, c.cluster_of(5))
+        assert fast == pytest.approx(obj.score(trial) - before)
+
+    def test_group_delta_matches_brute_force(self):
+        graph, _ = _vector_graph()
+        obj = KMeansObjective(k=1, penalty=10.0)
+        c = Clustering.from_groups(graph, [[1, 2], [3], [4, 5, 6]])
+        group = list(c.cluster_ids())
+        fast = obj.delta_merge_group(c, group)
+        trial = c.copy()
+        before = obj.score(trial)
+        current = group[0]
+        for cid in group[1:]:
+            current = trial.merge(current, cid)
+        assert fast == pytest.approx(obj.score(trial) - before)
+
+    def test_refinement_moves_propose_nearest_centroid(self):
+        graph, _ = _vector_graph()
+        obj = KMeansObjective(k=2, penalty=100.0)
+        c = Clustering.from_groups(graph, [[1, 2, 4], [3, 5, 6]])
+        proposals = obj.refinement_moves(c)
+        # Point 4 sits with the origin group but belongs to the far group;
+        # point 3 vice versa.
+        moved = {obj_id for obj_id, _ in proposals}
+        assert 4 in moved and 3 in moved
+
+    def test_merge_candidates_above_k(self):
+        graph, _ = _vector_graph()
+        obj = KMeansObjective(k=1, penalty=100.0)
+        c = Clustering.from_groups(graph, [[1, 2, 3], [4, 5, 6]])
+        cid = c.cluster_of(1)
+        candidates = obj.merge_candidates(c, cid)
+        assert candidates == [c.cluster_of(4)]
+
+    def test_merge_candidates_none_at_k(self):
+        graph, _ = _vector_graph()
+        obj = KMeansObjective(k=2, penalty=100.0)
+        c = Clustering.from_groups(graph, [[1, 2, 3], [4, 5, 6]])
+        assert obj.merge_candidates(c, c.cluster_of(1)) is None
+
+    def test_sse_identity(self):
+        graph, points = _vector_graph()
+        obj = KMeansObjective(k=2)
+        c = Clustering.from_groups(graph, [[1, 2, 3], [4, 5, 6]])
+        stack = np.array([points[i] for i in (1, 2, 3)])
+        expected = float(np.sum((stack - stack.mean(axis=0)) ** 2)) * 2
+        assert obj.sse(c) == pytest.approx(expected)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KMeansObjective(k=0)

@@ -1,0 +1,102 @@
+"""Tests for model serialisation (train once, serve after restart)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.batch import HillClimbing
+from repro.clustering.objectives import DBIndexObjective
+from repro.core import DynamicC, DynamicCModel
+from repro.data.generators import generate_cora
+from repro.data.workload import OperationMix, build_workload
+from repro.ml import (
+    ConstantClassifier,
+    DecisionTreeClassifier,
+    LinearSVMClassifier,
+    LogisticRegressionClassifier,
+)
+from repro.ml.persistence import load_model, model_from_dict, model_to_dict, save_model
+
+
+def _data(seed=0, n=80):
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal([-1.5, -1.5], 0.5, size=(n // 2, 2))
+    X1 = rng.normal([1.5, 1.5], 0.5, size=(n // 2, 2))
+    return np.vstack([X0, X1]), np.array([0] * (n // 2) + [1] * (n // 2))
+
+
+@pytest.mark.parametrize(
+    "model_cls",
+    [LogisticRegressionClassifier, LinearSVMClassifier, DecisionTreeClassifier],
+)
+class TestClassifierRoundtrip:
+    def test_probabilities_preserved(self, model_cls, tmp_path):
+        X, y = _data()
+        model = model_cls().fit(X, y)
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        restored = load_model(path)
+        np.testing.assert_allclose(
+            restored.predict_proba(X), model.predict_proba(X), rtol=1e-12
+        )
+
+    def test_unfitted_rejected(self, model_cls, tmp_path):
+        with pytest.raises(ValueError):
+            save_model(model_cls(), tmp_path / "x.json")
+
+
+class TestEdgeCases:
+    def test_constant_classifier_roundtrip(self):
+        restored = model_from_dict(model_to_dict(ConstantClassifier(0.25)))
+        assert restored.predict_proba([[1.0, 2.0]])[0] == 0.25
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            model_from_dict({"kind": "transformer"})
+
+    def test_unknown_model_type_rejected(self):
+        with pytest.raises(TypeError):
+            model_to_dict(object())
+
+
+class TestDynamicCModelBundle:
+    def test_bundle_roundtrip_drives_identical_predictions(self, tmp_path):
+        dataset = generate_cora(n_entities=25, n_duplicates=75, seed=41)
+        workload = build_workload(
+            dataset,
+            initial_count=40,
+            n_snapshots=4,
+            mixes=OperationMix(add=0.2, remove=0.02, update=0.03),
+            seed=2,
+        )
+        graph = dataset.graph()
+        for obj_id, payload in workload.initial.items():
+            graph.add_object(obj_id, payload)
+        dyn = DynamicC(graph, DBIndexObjective(), seed=0)
+        dyn.bootstrap(HillClimbing(DBIndexObjective()).cluster(graph))
+        for snapshot in workload.snapshots[:2]:
+            dyn.observe_round(
+                added=snapshot.added,
+                removed=snapshot.removed,
+                updated=snapshot.updated,
+            )
+        dyn.train()
+
+        path = tmp_path / "dynamicc.json"
+        dyn.model.save(path)
+        restored = DynamicCModel.load(path)
+        assert restored.is_trained
+        assert restored.merge_theta == dyn.model.merge_theta
+        assert restored.split_theta == dyn.model.split_theta
+
+        # The restored bundle drives an identical prediction round.
+        from repro.core.features import cluster_features
+
+        for cid in list(dyn.clustering.cluster_ids())[:10]:
+            feats = cluster_features(dyn.clustering, cid)
+            assert restored.merge_probability(feats) == pytest.approx(
+                dyn.model.merge_probability(feats)
+            )
+
+    def test_untrained_bundle_save_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            DynamicCModel().save(tmp_path / "x.json")

@@ -1,0 +1,262 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+Covered properties:
+
+* Clustering state — any sequence of merge/split/move/remove operations
+  keeps the partition invariants and the incremental intra-similarity
+  sums exact.
+* Objective deltas — delta_merge/delta_split/delta_move are exactly the
+  score difference of applying the change, for all three objectives.
+* Transformation derivation — replaying the derived steps transforms any
+  old partition into any new partition of the same objects.
+* Pair metrics — bounded in [0, 1], symmetric F1, identity gives 1.
+* Levenshtein — triangle inequality and symmetry.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.objectives import (
+    CorrelationObjective,
+    DBIndexObjective,
+    KMeansObjective,
+)
+from repro.clustering.state import Clustering
+from repro.core.transformation import derive_transformation, replay_transformation
+from repro.eval.pair_metrics import pair_metrics
+from repro.similarity import SimilarityGraph
+from repro.similarity.levenshtein import levenshtein_distance
+from repro.similarity.table import TableSimilarity
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+N_OBJECTS = 8
+
+
+@st.composite
+def random_graphs(draw):
+    """A small similarity graph with random sparse edges."""
+    n = draw(st.integers(min_value=3, max_value=N_OBJECTS))
+    pairs = {}
+    for a in range(1, n + 1):
+        for b in range(a + 1, n + 1):
+            if draw(st.booleans()):
+                sim = draw(
+                    st.floats(min_value=0.1, max_value=1.0, allow_nan=False)
+                )
+                pairs[(f"o{a}", f"o{b}")] = round(sim, 3)
+    graph = SimilarityGraph(TableSimilarity(pairs), store_threshold=0.05)
+    for obj_id in range(1, n + 1):
+        graph.add_object(obj_id, f"o{obj_id}")
+    return graph
+
+
+@st.composite
+def partitions(draw, objects):
+    """A random partition of the given object list."""
+    labels = [draw(st.integers(min_value=0, max_value=len(objects) - 1)) for _ in objects]
+    groups: dict[int, set] = {}
+    for obj, label in zip(objects, labels):
+        groups.setdefault(label, set()).add(obj)
+    return list(groups.values())
+
+
+@st.composite
+def graph_with_operations(draw):
+    graph = draw(random_graphs())
+    ids = sorted(graph.object_ids())
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["merge", "split", "move", "remove"]),
+                st.integers(min_value=0, max_value=10_000),
+            ),
+            max_size=12,
+        )
+    )
+    return graph, ids, ops
+
+
+# ---------------------------------------------------------------------------
+# Clustering state invariants
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(graph_with_operations())
+def test_clustering_invariants_under_random_operations(data):
+    graph, ids, ops = data
+    clustering = Clustering.singletons(graph)
+    rng = np.random.default_rng(0)
+    for kind, seed in ops:
+        cids = list(clustering.cluster_ids())
+        if kind == "merge" and len(cids) >= 2:
+            a, b = cids[seed % len(cids)], cids[(seed // 7) % len(cids)]
+            if a != b:
+                clustering.merge(a, b)
+        elif kind == "split":
+            big = [cid for cid in cids if clustering.size(cid) > 1]
+            if big:
+                cid = big[seed % len(big)]
+                members = sorted(clustering.members_view(cid))
+                clustering.split(cid, {members[seed % len(members)]})
+        elif kind == "move" and len(cids) >= 2:
+            objects = sorted(clustering.labels())
+            obj = objects[seed % len(objects)]
+            target = cids[(seed // 3) % len(cids)]
+            if clustering.contains_cluster(target):
+                clustering.move(obj, target)
+        elif kind == "remove":
+            objects = sorted(clustering.labels())
+            if len(objects) > 1:
+                obj = objects[seed % len(objects)]
+                clustering.remove_object(obj)
+                graph.remove_object(obj)
+        clustering.check_invariants()
+
+
+# ---------------------------------------------------------------------------
+# Objective delta exactness
+# ---------------------------------------------------------------------------
+
+
+def _check_deltas(graph, objective, make_fresh):
+    clustering = Clustering.singletons(graph)
+    ids = sorted(graph.object_ids())
+    # Build a few clusters deterministically.
+    clustering.merge(clustering.cluster_of(ids[0]), clustering.cluster_of(ids[1]))
+    if len(ids) >= 4:
+        clustering.merge(clustering.cluster_of(ids[2]), clustering.cluster_of(ids[3]))
+
+    cids = list(clustering.cluster_ids())
+    # merge delta
+    fast = objective.delta_merge(clustering, cids[0], cids[1])
+    trial = clustering.copy()
+    trial.merge(cids[0], cids[1])
+    slow = make_fresh().score(trial) - make_fresh().score(clustering)
+    assert fast == pytest.approx(slow, abs=1e-8)
+
+    # split delta on a multi-member cluster
+    big = [cid for cid in clustering.cluster_ids() if clustering.size(cid) > 1]
+    if big:
+        cid = big[0]
+        member = sorted(clustering.members_view(cid))[0]
+        fast = objective.delta_split(clustering, cid, {member})
+        trial = clustering.copy()
+        trial.split(cid, {member})
+        slow = make_fresh().score(trial) - make_fresh().score(clustering)
+        assert fast == pytest.approx(slow, abs=1e-8)
+
+    # move delta
+    if len(list(clustering.cluster_ids())) >= 2:
+        obj = ids[0]
+        targets = [
+            cid
+            for cid in clustering.cluster_ids()
+            if cid != clustering.cluster_of(obj)
+        ]
+        fast = objective.delta_move(clustering, obj, targets[0])
+        trial = clustering.copy()
+        trial.move(obj, targets[0])
+        slow = make_fresh().score(trial) - make_fresh().score(clustering)
+        assert fast == pytest.approx(slow, abs=1e-8)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(random_graphs())
+def test_correlation_deltas_exact(graph):
+    _check_deltas(graph, CorrelationObjective(), CorrelationObjective)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(random_graphs())
+def test_dbindex_deltas_exact(graph):
+    _check_deltas(graph, DBIndexObjective(), DBIndexObjective)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(random_graphs(), st.integers(min_value=1, max_value=4))
+def test_kmeans_deltas_exact(graph, k):
+    rng = np.random.default_rng(7)
+    vectors = {obj_id: rng.normal(size=3) for obj_id in graph.object_ids()}
+
+    def make():
+        return KMeansObjective(k=k, vector_of=lambda oid: vectors[oid], penalty=50.0)
+
+    _check_deltas(graph, make(), make)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(random_graphs())
+def test_dbindex_cache_consistent_after_gateway_ops(graph):
+    objective = DBIndexObjective()
+    clustering = Clustering.singletons(graph)
+    ids = sorted(graph.object_ids())
+    objective.apply_merge(
+        clustering, clustering.cluster_of(ids[0]), clustering.cluster_of(ids[1])
+    )
+    objective.apply_merge(
+        clustering, clustering.cluster_of(ids[0]), clustering.cluster_of(ids[2])
+    )
+    objective.apply_split(clustering, clustering.cluster_of(ids[0]), {ids[0]})
+    assert objective.score(clustering) == pytest.approx(
+        DBIndexObjective().score(clustering), abs=1e-8
+    )
+
+
+# ---------------------------------------------------------------------------
+# Transformation derivation
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data())
+def test_derived_transformation_replays_exactly(data):
+    n = data.draw(st.integers(min_value=1, max_value=10))
+    objects = list(range(n))
+    old = data.draw(partitions(objects))
+    new = data.draw(partitions(objects))
+    log = derive_transformation(old, new)
+    result = replay_transformation(old, log)
+    assert result == frozenset(frozenset(g) for g in new)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_transformation_of_identity_is_empty(data):
+    n = data.draw(st.integers(min_value=1, max_value=10))
+    partition = data.draw(partitions(list(range(n))))
+    assert len(derive_transformation(partition, partition)) == 0
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data())
+def test_pair_metrics_bounds_and_symmetry(data):
+    n = data.draw(st.integers(min_value=1, max_value=12))
+    objects = list(range(n))
+    a = data.draw(partitions(objects))
+    b = data.draw(partitions(objects))
+    m = pair_metrics(a, b)
+    assert 0.0 <= m.precision <= 1.0
+    assert 0.0 <= m.recall <= 1.0
+    assert 0.0 <= m.f1 <= 1.0
+    assert m.f1 == pytest.approx(pair_metrics(b, a).f1)
+    assert pair_metrics(a, a).f1 == 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(max_size=12), st.text(max_size=12), st.text(max_size=12))
+def test_levenshtein_triangle_inequality(a, b, c):
+    assert levenshtein_distance(a, c) <= levenshtein_distance(
+        a, b
+    ) + levenshtein_distance(b, c)
+    assert levenshtein_distance(a, b) == levenshtein_distance(b, a)

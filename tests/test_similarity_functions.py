@@ -1,0 +1,178 @@
+"""Unit tests for the similarity measures (Table 1's per-dataset set)."""
+
+import math
+
+import pytest
+
+from repro.similarity import (
+    CosineTrigramSimilarity,
+    EuclideanSimilarity,
+    JaccardSimilarity,
+    LevenshteinSimilarity,
+    WeightedCombination,
+    cosine_trigram,
+    jaccard,
+    levenshtein_distance,
+    normalized_levenshtein,
+    tokenize,
+)
+from repro.similarity.table import TableSimilarity
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard({"a", "b", "c"}, {"b", "c", "d"}) == pytest.approx(2 / 4)
+
+    def test_empty_sets(self):
+        assert jaccard(frozenset(), frozenset()) == 0.0
+
+    def test_one_empty(self):
+        assert jaccard({"a"}, frozenset()) == 0.0
+
+    def test_tokenize_lowercases_and_splits(self):
+        assert tokenize("Hello  World") == frozenset({"hello", "world"})
+
+    def test_accepts_strings(self):
+        assert JaccardSimilarity().similarity("a b", "b c") == pytest.approx(1 / 3)
+
+    def test_accepts_frozensets(self):
+        sim = JaccardSimilarity()
+        assert sim.similarity(frozenset({"x"}), frozenset({"x"})) == 1.0
+
+    def test_rejects_unknown_payloads(self):
+        with pytest.raises(TypeError):
+            JaccardSimilarity().similarity(1.5, 2.5)
+
+    def test_symmetry(self):
+        a, b = frozenset({"a", "b", "c"}), frozenset({"c", "d"})
+        assert jaccard(a, b) == jaccard(b, a)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein_distance("abc", "abc") == 0
+
+    def test_empty_vs_word(self):
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+
+    def test_substitution(self):
+        assert levenshtein_distance("kitten", "sitten") == 1
+
+    def test_classic_example(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_symmetry(self):
+        assert levenshtein_distance("abcd", "badc") == levenshtein_distance(
+            "badc", "abcd"
+        )
+
+    def test_normalized_range(self):
+        assert normalized_levenshtein("abc", "xyz") == 0.0
+        assert normalized_levenshtein("abc", "abc") == 1.0
+
+    def test_normalized_empty_strings(self):
+        assert normalized_levenshtein("", "") == 1.0
+
+    def test_class_wrapper(self):
+        assert LevenshteinSimilarity().similarity("abcd", "abce") == pytest.approx(0.75)
+
+
+class TestCosineTrigram:
+    def test_identical_strings(self):
+        assert cosine_trigram("hello world", "hello world") == pytest.approx(1.0)
+
+    def test_unrelated_strings(self):
+        assert cosine_trigram("aaaa", "zzzz") == 0.0
+
+    def test_empty_string(self):
+        assert cosine_trigram("", "abc") <= 1.0  # padding still yields trigrams
+
+    def test_typo_stays_high(self):
+        # Trigram cosine is robust to single typos — the reason the paper
+        # uses it for MusicBrainz.
+        assert cosine_trigram("midnight river band", "midnigt river band") > 0.8
+
+    def test_symmetry(self):
+        a, b = "golden summer", "golden winter"
+        assert cosine_trigram(a, b) == pytest.approx(cosine_trigram(b, a))
+
+    def test_range(self):
+        value = CosineTrigramSimilarity().similarity("abc def", "abc xyz")
+        assert 0.0 <= value <= 1.0
+
+
+class TestEuclidean:
+    def test_zero_distance_is_one(self):
+        sim = EuclideanSimilarity(scale=2.0)
+        assert sim.similarity([1.0, 2.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_decay(self):
+        sim = EuclideanSimilarity(scale=1.0)
+        assert sim.similarity([0.0], [1.0]) == pytest.approx(math.exp(-1.0))
+
+    def test_scale_inverse(self):
+        sim = EuclideanSimilarity(scale=2.0)
+        assert sim.distance_for_similarity(
+            sim.similarity([0.0], [3.0])
+        ) == pytest.approx(3.0)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            EuclideanSimilarity(scale=0.0)
+
+    def test_invalid_inversion(self):
+        with pytest.raises(ValueError):
+            EuclideanSimilarity().distance_for_similarity(0.0)
+
+
+class TestWeightedCombination:
+    def test_normalises_weights(self):
+        combo = WeightedCombination(
+            [(LevenshteinSimilarity(), 2.0), (JaccardSimilarity(), 2.0)]
+        )
+        assert combo.similarity("a b", "a b") == pytest.approx(1.0)
+
+    def test_requires_parts(self):
+        with pytest.raises(ValueError):
+            WeightedCombination([])
+
+    def test_requires_positive_weights(self):
+        with pytest.raises(ValueError):
+            WeightedCombination([(JaccardSimilarity(), 0.0)])
+
+    def test_mixture_value(self):
+        combo = WeightedCombination(
+            [(LevenshteinSimilarity(), 1.0), (JaccardSimilarity(), 1.0)]
+        )
+        expected = 0.5 * normalized_levenshtein("ab cd", "ab ce") + 0.5 * jaccard(
+            tokenize("ab cd"), tokenize("ab ce")
+        )
+        assert combo.similarity("ab cd", "ab ce") == pytest.approx(expected)
+
+
+class TestTableSimilarity:
+    def test_symmetric_lookup(self):
+        table = TableSimilarity({("a", "b"): 0.5})
+        assert table.similarity("a", "b") == 0.5
+        assert table.similarity("b", "a") == 0.5
+
+    def test_missing_pair_is_zero(self):
+        assert TableSimilarity({}).similarity("a", "b") == 0.0
+
+    def test_self_similarity_is_one(self):
+        assert TableSimilarity({}).similarity("a", "a") == 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            TableSimilarity({("a", "b"): 1.5})
+
+    def test_distance_complement(self):
+        table = TableSimilarity({("a", "b"): 0.3})
+        assert table.distance("a", "b") == pytest.approx(0.7)

@@ -1,0 +1,109 @@
+"""Unit tests for the dynamic similarity graph."""
+
+import pytest
+
+from repro.similarity import JaccardSimilarity, SimilarityGraph
+from repro.similarity.table import TableSimilarity
+
+from paper_example import PAPER_EDGES, PAPER_IDS, build_paper_graph
+
+
+class TestConstruction:
+    def test_paper_total_weight(self, paper_graph):
+        # Example 4.1: F(L1) = total weight = 5.2 over singletons.
+        assert paper_graph.total_weight == pytest.approx(5.2)
+
+    def test_edge_count(self, paper_graph):
+        assert paper_graph.edge_count() == len(PAPER_EDGES)
+
+    def test_similarity_lookup(self, paper_graph):
+        assert paper_graph.similarity(
+            PAPER_IDS["r1"], PAPER_IDS["r7"]
+        ) == pytest.approx(1.0)
+        assert paper_graph.similarity(PAPER_IDS["r1"], PAPER_IDS["r4"]) == 0.0
+
+    def test_self_similarity_zero(self, paper_graph):
+        assert paper_graph.similarity(PAPER_IDS["r1"], PAPER_IDS["r1"]) == 0.0
+
+    def test_store_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SimilarityGraph(JaccardSimilarity(), store_threshold=1.5)
+
+    def test_duplicate_add_rejected(self, paper_graph):
+        with pytest.raises(KeyError):
+            paper_graph.add_object(PAPER_IDS["r1"], "r1")
+
+    def test_missing_remove_rejected(self, paper_graph):
+        with pytest.raises(KeyError):
+            paper_graph.remove_object(999)
+
+    def test_threshold_filters_edges(self):
+        table = TableSimilarity({("a", "b"): 0.04, ("a", "c"): 0.5})
+        graph = SimilarityGraph(table, store_threshold=0.1)
+        for obj_id, payload in enumerate(["a", "b", "c"], start=1):
+            graph.add_object(obj_id, payload)
+        assert graph.similarity(1, 2) == 0.0  # below threshold: not stored
+        assert graph.similarity(1, 3) == 0.5
+
+
+class TestDynamicOperations:
+    def test_remove_updates_weight(self):
+        graph = build_paper_graph()
+        graph.remove_object(PAPER_IDS["r7"])  # drops the 1.0 edge
+        assert graph.total_weight == pytest.approx(4.2)
+        assert PAPER_IDS["r7"] not in graph
+
+    def test_update_rescores(self):
+        table = TableSimilarity({("a", "b"): 0.9, ("a2", "b"): 0.2})
+        graph = SimilarityGraph(table, store_threshold=0.1)
+        graph.add_object(1, "a")
+        graph.add_object(2, "b")
+        assert graph.similarity(1, 2) == pytest.approx(0.9)
+        graph.update_object(1, "a2")
+        assert graph.similarity(1, 2) == pytest.approx(0.2)
+        assert graph.payload(1) == "a2"
+
+    def test_version_bumps(self):
+        graph = build_paper_graph()
+        v0 = graph.version
+        graph.remove_object(PAPER_IDS["r6"])
+        assert graph.version > v0
+
+    def test_add_after_remove(self):
+        graph = build_paper_graph()
+        graph.remove_object(PAPER_IDS["r6"])
+        graph.add_object(PAPER_IDS["r6"], "r6")
+        assert graph.similarity(PAPER_IDS["r6"], PAPER_IDS["r4"]) == pytest.approx(0.8)
+
+
+class TestAggregates:
+    def test_intra_weight(self, paper_graph):
+        members = {PAPER_IDS["r4"], PAPER_IDS["r5"], PAPER_IDS["r6"]}
+        assert paper_graph.intra_weight(members) == pytest.approx(0.9 + 0.8 + 0.7)
+
+    def test_cross_weight(self, paper_graph):
+        left = {PAPER_IDS["r1"], PAPER_IDS["r2"]}
+        right = {PAPER_IDS["r3"], PAPER_IDS["r7"]}
+        assert paper_graph.cross_weight(left, right) == pytest.approx(0.9 + 1.0)
+
+    def test_cross_weight_requires_disjoint(self, paper_graph):
+        with pytest.raises(ValueError):
+            paper_graph.cross_weight({1, 2}, {2, 3})
+
+    def test_component_of(self, paper_graph):
+        component = paper_graph.component_of([PAPER_IDS["r4"]])
+        assert component == {PAPER_IDS["r4"], PAPER_IDS["r5"], PAPER_IDS["r6"]}
+
+    def test_components_partition_objects(self, paper_graph):
+        components = paper_graph.components()
+        all_ids = set()
+        for component in components:
+            assert not (component & all_ids)
+            all_ids |= component
+        assert all_ids == set(PAPER_IDS.values())
+        assert len(components) == 2  # {r1,r2,r3,r7} and {r4,r5,r6}
+
+    def test_edges_iterated_once(self, paper_graph):
+        edges = list(paper_graph.edges())
+        assert len(edges) == paper_graph.edge_count()
+        assert all(a < b for a, b, _ in edges)

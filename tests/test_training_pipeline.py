@@ -1,0 +1,175 @@
+"""Tests for sampling (§5.3), training data assembly (§5.2), θ (§5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.state import Clustering
+from repro.core.config import DynamicCConfig
+from repro.core.sampling import sample_negatives
+from repro.core.training import (
+    TrainingBuffer,
+    collect_round_samples,
+    select_theta,
+)
+from repro.ml import LogisticRegressionClassifier
+
+from paper_example import PAPER_IDS
+
+R = PAPER_IDS
+
+
+class TestSampleNegatives:
+    def test_count_respected(self):
+        rng = np.random.default_rng(0)
+        chosen = sample_negatives(list(range(10)), list(range(10, 20)), 5, rng)
+        assert len(chosen) == 5
+        assert len(set(chosen)) == 5  # without replacement
+
+    def test_exhausted_pools(self):
+        rng = np.random.default_rng(0)
+        chosen = sample_negatives([1], [2], 10, rng)
+        assert sorted(chosen) == [1, 2]
+
+    def test_zero_count(self):
+        rng = np.random.default_rng(0)
+        assert sample_negatives([1], [2], 0, rng) == []
+
+    def test_active_weighting_biases_selection(self):
+        rng = np.random.default_rng(42)
+        active_share = 0
+        trials = 300
+        for _ in range(trials):
+            chosen = sample_negatives(
+                ["a"] * 50, ["i"] * 50, 1, rng, active_weight=0.7, inactive_weight=0.3
+            )
+            active_share += chosen[0] == "a"
+        # The paper's 0.7/0.3 weighting: active picked ~70% of the time.
+        assert 0.6 < active_share / trials < 0.8
+
+    def test_invalid_weights(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_negatives([1], [2], 1, rng, active_weight=0.0, inactive_weight=0.0)
+
+
+class TestCollectRoundSamples:
+    def test_merge_and_split_positives(self, paper_graph):
+        old = Clustering.from_groups(
+            paper_graph,
+            [
+                [R["r1"], R["r2"], R["r3"]],
+                [R["r4"], R["r5"]],
+                [R["r6"]],
+                [R["r7"]],
+            ],
+        )
+        new_partition = frozenset(
+            {
+                frozenset({R["r2"], R["r3"]}),
+                frozenset({R["r4"], R["r5"], R["r6"]}),
+                frozenset({R["r1"], R["r7"]}),
+            }
+        )
+        rng = np.random.default_rng(0)
+        samples = collect_round_samples(
+            old, new_partition, changed={R["r6"], R["r7"]}, rng=rng
+        )
+        # 1 split (C1) and 2 merges ⇒ 1 split positive, 4 merge positives.
+        assert len(samples.split_positive) == 1
+        assert len(samples.merge_positive) == 4
+        # Negatives never exceed positives (§5.3: equal counts, capped by pool).
+        assert len(samples.merge_negative) <= 4
+        assert len(samples.split_negative) <= 1
+
+    def test_old_clustering_not_mutated(self, paper_graph):
+        old = Clustering.from_groups(paper_graph, [[R["r1"]], [R["r7"]]])
+        partition_before = old.as_partition()
+        new_partition = frozenset({frozenset({R["r1"], R["r7"]})})
+        collect_round_samples(
+            old, new_partition, changed=set(), rng=np.random.default_rng(0)
+        )
+        assert old.as_partition() == partition_before
+
+    def test_unchanged_round_yields_no_positives(self, paper_old_clustering):
+        old = paper_old_clustering
+        samples = collect_round_samples(
+            old, old.as_partition(), changed=set(), rng=np.random.default_rng(0)
+        )
+        assert not samples.merge_positive
+        assert not samples.split_positive
+
+
+class TestTrainingBuffer:
+    def test_fifo_eviction(self):
+        buffer = TrainingBuffer(max_size=3)
+        for i in range(5):
+            buffer.add_merge_sample(_fake_features(i), label=i % 2)
+        assert buffer.merge_size == 3
+        X, y = buffer.merge_matrix()
+        assert X.shape == (3, 4)
+        assert list(y) == [0, 1, 0]  # samples 2, 3, 4 survive
+
+    def test_empty_matrices(self):
+        buffer = TrainingBuffer()
+        X, y = buffer.merge_matrix()
+        assert X.shape == (0, 4)
+        X, y = buffer.split_matrix()
+        assert X.shape == (0, 3)
+
+    def test_len(self):
+        buffer = TrainingBuffer()
+        buffer.add_merge_sample(_fake_features(1), 1)
+        buffer.add_split_sample(_fake_features(2), 0)
+        assert len(buffer) == 2
+
+
+def _fake_features(seed: int):
+    from repro.core.features import ClusterFeatures
+
+    rng = np.random.default_rng(seed)
+    return ClusterFeatures(
+        intra=float(rng.random()),
+        max_inter=float(rng.random()),
+        size=int(rng.integers(1, 10)),
+        partner_size=int(rng.integers(0, 10)),
+    )
+
+
+class TestSelectTheta:
+    def test_theta_is_min_positive_probability(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack(
+            [rng.normal(2.0, 0.5, size=(40, 3)), rng.normal(-2.0, 0.5, size=(40, 3))]
+        )
+        y = np.array([1] * 40 + [0] * 40)
+        model = LogisticRegressionClassifier().fit(X, y)
+        theta = select_theta(model, X, y, quantile=0.0, floor=0.0)
+        positives = model.predict_proba(X[y == 1])
+        assert theta == pytest.approx(float(positives.min()))
+        # 100% training recall (§5.4).
+        assert np.all(positives >= theta)
+
+    def test_floor_applies(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(20, 3))
+        y = np.array([1] * 10 + [0] * 10)
+        model = LogisticRegressionClassifier().fit(X, y)
+        theta = select_theta(model, X, y, floor=0.4)
+        assert theta >= 0.4
+
+    def test_no_positives_defaults(self):
+        model = LogisticRegressionClassifier().fit(
+            np.zeros((4, 2)), np.zeros(4, dtype=int)
+        )
+        assert select_theta(model, np.zeros((4, 2)), np.zeros(4)) == 0.5
+
+    def test_quantile_raises_theta(self):
+        rng = np.random.default_rng(2)
+        X = np.vstack(
+            [rng.normal(1.0, 1.0, size=(50, 2)), rng.normal(-1.0, 1.0, size=(50, 2))]
+        )
+        y = np.array([1] * 50 + [0] * 50)
+        model = LogisticRegressionClassifier().fit(X, y)
+        low = select_theta(model, X, y, quantile=0.0, floor=0.0)
+        high = select_theta(model, X, y, quantile=0.3, floor=0.0)
+        assert high >= low
