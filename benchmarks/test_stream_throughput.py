@@ -1,0 +1,106 @@
+"""Streaming service throughput — events/sec at shards ∈ {1, 2, 4}.
+
+Not a paper figure: this benchmarks the `repro.stream` serving layer on
+the synthetic Access workload so future scaling PRs (async ingest,
+replication, cheaper graph maintenance) have a perf trajectory to beat.
+Emits a table plus ``benchmarks/results/stream_throughput.json``.
+
+Sharding helps twice: rounds on an N-times-smaller graph are cheaper
+than 1/N of one big round (graph maintenance and candidate scoring are
+super-linear), and shards are independent, so a future async layer can
+run them concurrently — the wall-clock numbers here are single-threaded
+lower bounds.
+
+Known shape (reproducible, not host noise): 2 shards is *slower* than
+1 on this workload — the hash partition at N=2 concentrates the dense
+similarity component in one shard, and per-round cost grows
+super-linearly with component size, so partition balance matters more
+than shard count. It recovers by N=4. Balance-aware routing is an open
+item for a future PR.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.clustering.objectives import DBIndexObjective
+from repro.core import DynamicC
+from repro.data.generators import generate_access
+from repro.data.workload import OperationMix, build_workload
+from repro.eval import render_table
+from repro.stream import ClusteringService, StreamConfig
+
+from conftest import RESULTS_DIR
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def test_stream_throughput(emit):
+    dataset = generate_access(n_profiles=10, n_records=700, seed=9)
+    workload = build_workload(
+        dataset,
+        initial_count=250,
+        n_snapshots=8,
+        mixes=OperationMix(add=0.12, remove=0.03, update=0.03),
+        seed=4,
+    )
+    events = workload.event_stream()
+
+    def factory():
+        return DynamicC(dataset.graph(), DBIndexObjective(), seed=0)
+
+    results = []
+    for n_shards in SHARD_COUNTS:
+        service = ClusteringService(
+            factory,
+            StreamConfig(n_shards=n_shards, batch_max_ops=64, train_rounds=2),
+        )
+        start = time.perf_counter()
+        service.ingest(events)
+        service.flush()
+        wall = time.perf_counter() - start
+        stats = service.stats()
+        assert stats["applied_seq"] == len(events)
+        assert stats["pending_ops"] == 0
+        results.append(
+            {
+                "n_shards": n_shards,
+                "events": len(events),
+                "wall_s": wall,
+                "events_per_s_wall": len(events) / wall,
+                "events_per_s_busy": stats["throughput_events_per_s"],
+                "batches": stats["batches_applied"],
+                "clusters": stats["num_clusters"],
+                "objects": stats["num_objects"],
+            }
+        )
+
+    emit(
+        render_table(
+            ["shards", "events", "wall s", "ev/s (wall)", "ev/s (busy)", "clusters"],
+            [
+                [
+                    r["n_shards"],
+                    r["events"],
+                    r["wall_s"],
+                    r["events_per_s_wall"],
+                    r["events_per_s_busy"],
+                    r["clusters"],
+                ]
+                for r in results
+            ],
+            title="\n== repro.stream ingest throughput on Access (single-threaded) ==",
+            precision=1,
+        )
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "stream_throughput.json", "w") as handle:
+        json.dump({"workload": "access", "results": results}, handle, indent=2)
+        handle.write("\n")
+
+    # Sanity floor only — absolute and comparative numbers are too
+    # machine/noise-dependent to gate CI on; the trajectory lives in
+    # the JSON artefact.
+    for r in results:
+        assert r["events_per_s_wall"] > 0

@@ -18,9 +18,14 @@ Public API tour
 * :mod:`repro.ml` — from-scratch logistic regression / SVM / decision
   tree (the Table 4 model families).
 * :mod:`repro.data` — the five Table 1 dataset generators and the
-  dynamic workload driver.
+  dynamic workload driver (with the ``event_stream()`` adapter feeding
+  the service layer).
 * :mod:`repro.eval` — pair-counting F1, purity metrics, and the
   experiment harness.
+* :mod:`repro.stream` — the durable, sharded streaming service layer:
+  operation log (WAL), micro-batcher, hash-routed engine pool,
+  checkpoint/recovery, metrics, and the
+  :class:`~repro.stream.ClusteringService` façade.
 """
 
 from repro.clustering import Clustering
@@ -40,12 +45,14 @@ from repro.core import (
 )
 from repro.data import build_workload
 from repro.similarity import SimilarityGraph
+from repro.stream import ClusteringService, Operation, StreamConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DBSCAN",
     "Clustering",
+    "ClusteringService",
     "CorrelationObjective",
     "DBIndexObjective",
     "DynamicC",
@@ -57,7 +64,9 @@ __all__ = [
     "LloydKMeans",
     "NaiveIncremental",
     "ObjectiveFunction",
+    "Operation",
     "SimilarityGraph",
+    "StreamConfig",
     "build_workload",
     "make_dynamic_dbscan",
     "__version__",

@@ -140,6 +140,62 @@ class DynamicC(IncrementalClusterer):
         return report
 
     # ------------------------------------------------------------------
+    # Checkpoint / restore (the repro.stream durability hooks)
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """JSON-compatible snapshot of all mutable engine state.
+
+        Covers the clustering partition, the trained model bundle, the
+        training buffer and the negative-sampling RNG — everything a
+        crash recovery needs to continue with identical memberships and
+        predictions — but not the similarity graph, which the caller
+        owns (payloads are opaque here; :mod:`repro.stream.checkpoint`
+        serialises them). Cluster *ids* are re-minted on restore: only
+        the partition, not the id values, survives a roundtrip.
+        """
+        from repro.ml.persistence import bundle_to_dict
+
+        return {
+            # Insertion order is preserved so the restored clustering
+            # iterates in the same order as the live one.
+            "labels": [
+                [obj_id, cid] for obj_id, cid in self.clustering.labels().items()
+            ],
+            "model": bundle_to_dict(self.model) if self.model.is_trained else None,
+            "buffer": self.buffer.state_dict(),
+            "rounds_since_fit": self._rounds_since_fit,
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`checkpoint_state` snapshot.
+
+        The similarity graph must already hold exactly the objects the
+        snapshot's clustering refers to.
+        """
+        from repro.ml.persistence import bundle_from_dict
+
+        self.clustering = Clustering.from_labels(
+            self.graph, {int(obj_id): int(cid) for obj_id, cid in state["labels"]}
+        )
+        # The serialised bundle carries fitted parameters, not the
+        # classifier factories — keep this engine's configured factories
+        # so post-recovery refits stay in the same model family.
+        merge_factory = self.model._merge_factory
+        split_factory = self.model._split_factory
+        if state["model"] is not None:
+            self.model = bundle_from_dict(state["model"], config=self.config)
+        else:
+            # The snapshot was taken before training; a leftover trained
+            # model on this engine must not survive the restore.
+            self.model = DynamicCModel(config=self.config)
+        self.model._merge_factory = merge_factory
+        self.model._split_factory = split_factory
+        self.buffer.load_state_dict(state["buffer"])
+        self._rounds_since_fit = int(state["rounds_since_fit"])
+        self._rng.bit_generator.state = state["rng_state"]
+
+    # ------------------------------------------------------------------
     # Prediction phase (Algorithm 3)
     # ------------------------------------------------------------------
     def _recluster(self, changed: set[int]) -> None:

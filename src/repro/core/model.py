@@ -174,16 +174,10 @@ class DynamicCModel:
         import json
         import pathlib
 
-        from repro.ml.persistence import model_to_dict
+        from repro.ml.persistence import bundle_to_dict
 
         self._require_trained()
-        payload = {
-            "merge_model": model_to_dict(self.merge_model),
-            "split_model": model_to_dict(self.split_model),
-            "merge_theta": self.merge_theta,
-            "split_theta": self.split_theta,
-        }
-        pathlib.Path(path).write_text(json.dumps(payload))
+        pathlib.Path(path).write_text(json.dumps(bundle_to_dict(self)))
 
     @classmethod
     def load(cls, path, config: DynamicCConfig | None = None) -> "DynamicCModel":
@@ -191,15 +185,9 @@ class DynamicCModel:
         import json
         import pathlib
 
-        from repro.ml.persistence import model_from_dict
+        from repro.ml.persistence import bundle_from_dict
 
-        payload = json.loads(pathlib.Path(path).read_text())
-        bundle = cls(config=config)
-        bundle.merge_model = model_from_dict(payload["merge_model"])
-        bundle.split_model = model_from_dict(payload["split_model"])
-        bundle.merge_theta = float(payload["merge_theta"])
-        bundle.split_theta = float(payload["split_theta"])
-        return bundle
+        return bundle_from_dict(json.loads(pathlib.Path(path).read_text()), config=config)
 
     def with_thetas(self, merge_theta: float, split_theta: float) -> "DynamicCModel":
         """Shallow copy with different θs (the Fig. 4 trade-off sweep)."""

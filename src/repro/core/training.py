@@ -193,6 +193,30 @@ class TrainingBuffer:
         y = np.array([label for _, label in store], dtype=int)
         return X, y
 
+    # ------------------------------------------------------------------
+    # Checkpointing (the buffer is part of DynamicC's durable state: it
+    # feeds retraining, so crash recovery must restore it exactly)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-compatible snapshot of the buffer contents."""
+        return {
+            "max_size": self.max_size,
+            "merge": [[vec.tolist(), label] for vec, label in self._merge],
+            "split": [[vec.tolist(), label] for vec, label in self._split],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot written by :meth:`state_dict`."""
+        self.max_size = int(state["max_size"])
+        self._merge = deque(
+            ((np.asarray(vec, dtype=float), int(label)) for vec, label in state["merge"]),
+            maxlen=self.max_size,
+        )
+        self._split = deque(
+            ((np.asarray(vec, dtype=float), int(label)) for vec, label in state["split"]),
+            maxlen=self.max_size,
+        )
+
     @property
     def merge_size(self) -> int:
         return len(self._merge)

@@ -32,6 +32,21 @@ class Snapshot:
     def changed_ids(self) -> set[int]:
         return set(self.added) | set(self.removed) | set(self.updated)
 
+    def as_operations(self) -> list:
+        """This snapshot as a flat list of stream operations.
+
+        Order follows the §6.1 application order the offline drivers
+        use (removals, then updates, then additions), so replaying the
+        operations through :class:`repro.stream.ClusteringService`
+        reproduces the snapshot's effect.
+        """
+        from repro.stream import events  # deferred: stream sits above data
+
+        ops = [events.remove(obj_id) for obj_id in self.removed]
+        ops.extend(events.update(obj_id, payload) for obj_id, payload in self.updated.items())
+        ops.extend(events.add(obj_id, payload) for obj_id, payload in self.added.items())
+        return ops
+
 
 @dataclass
 class OperationMix:
@@ -63,6 +78,26 @@ class DynamicWorkload:
             live |= set(snapshot.added)
             live -= set(snapshot.removed)
         return live
+
+    def event_stream(self, include_initial: bool = True) -> list:
+        """The whole workload as one flat operation stream.
+
+        The adapter from the offline snapshot representation to the
+        :mod:`repro.stream` ingestion format: initial records become Add
+        operations (unless ``include_initial`` is false), followed by
+        each snapshot's operations in round order. Micro-batching at the
+        service then re-cuts the stream into rounds.
+        """
+        from repro.stream import events  # deferred: stream sits above data
+
+        ops: list = []
+        if include_initial:
+            ops.extend(
+                events.add(obj_id, payload) for obj_id, payload in self.initial.items()
+            )
+        for snapshot in self.snapshots:
+            ops.extend(snapshot.as_operations())
+        return ops
 
     def operation_table(self) -> list[tuple[int, float, float, float]]:
         """Per-snapshot (index, add%, remove%, update%) — Fig. 5(a)'s data."""

@@ -122,3 +122,37 @@ def save_model(model, path) -> None:
 def load_model(path):
     """Load a classifier written by :func:`save_model`."""
     return model_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# DynamicC model bundles (both classifiers + their θ thresholds)
+# ---------------------------------------------------------------------------
+
+
+def bundle_to_dict(bundle) -> dict:
+    """Serialise a trained :class:`~repro.core.model.DynamicCModel`.
+
+    Duck-typed (the bundle class lives in :mod:`repro.core`, which
+    imports this module) — anything exposing ``merge_model`` /
+    ``split_model`` / the two θs works.
+    """
+    if bundle.merge_model is None or bundle.split_model is None:
+        raise ValueError("model bundle is not trained")
+    return {
+        "merge_model": model_to_dict(bundle.merge_model),
+        "split_model": model_to_dict(bundle.split_model),
+        "merge_theta": bundle.merge_theta,
+        "split_theta": bundle.split_theta,
+    }
+
+
+def bundle_from_dict(data: dict, config=None):
+    """Rebuild a :class:`~repro.core.model.DynamicCModel` bundle."""
+    from repro.core.model import DynamicCModel  # deferred: core imports ml
+
+    bundle = DynamicCModel(config=config)
+    bundle.merge_model = model_from_dict(data["merge_model"])
+    bundle.split_model = model_from_dict(data["split_model"])
+    bundle.merge_theta = float(data["merge_theta"])
+    bundle.split_theta = float(data["split_theta"])
+    return bundle

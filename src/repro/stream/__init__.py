@@ -1,0 +1,54 @@
+"""repro.stream — durable, sharded streaming service layer for DynamicC.
+
+Turns the in-process :class:`~repro.core.dynamicc.DynamicC` engine into
+a serveable system:
+
+* :mod:`repro.stream.events` — Add/Remove/Update operations + payload codec;
+* :mod:`repro.stream.oplog` — append-only JSONL WAL (the only hard state);
+* :mod:`repro.stream.batching` — micro-batcher folding events into rounds;
+* :mod:`repro.stream.router` — stable hash routing + membership table;
+* :mod:`repro.stream.shard` — one DynamicC engine with train-then-serve
+  lifecycle and checkpoint/restore;
+* :mod:`repro.stream.checkpoint` — atomic numbered snapshots;
+* :mod:`repro.stream.metrics` — per-round latency/throughput telemetry;
+* :mod:`repro.stream.service` — the :class:`ClusteringService` façade
+  (``ingest`` / ``cluster_of`` / ``members`` / ``stats`` / ``checkpoint``
+  / ``recover``).
+"""
+
+from .batching import MicroBatcher, RoundOps
+from .checkpoint import CheckpointManager
+from .events import Operation, add, remove, update
+from .metrics import LatencyStat, MetricsRegistry, ShardMetrics
+from .oplog import OperationLog
+from .router import (
+    HashRouter,
+    MembershipTable,
+    global_cluster_id,
+    parse_cluster_id,
+    stable_hash,
+)
+from .service import ClusteringService, StreamConfig
+from .shard import StreamShard
+
+__all__ = [
+    "CheckpointManager",
+    "ClusteringService",
+    "HashRouter",
+    "LatencyStat",
+    "MembershipTable",
+    "MetricsRegistry",
+    "MicroBatcher",
+    "Operation",
+    "OperationLog",
+    "RoundOps",
+    "ShardMetrics",
+    "StreamConfig",
+    "StreamShard",
+    "add",
+    "global_cluster_id",
+    "parse_cluster_id",
+    "remove",
+    "stable_hash",
+    "update",
+]

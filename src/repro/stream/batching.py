@@ -1,0 +1,188 @@
+"""Micro-batching: coalesce the event stream into DynamicC rounds.
+
+DynamicC's unit of work is a *round* of Add/Remove/Update operations
+(§3.1); per-event re-clustering would waste the method's strength. The
+:class:`MicroBatcher` cuts the ingested stream into rounds by an
+operation-count budget and an optional wall-clock age budget, and
+:class:`RoundOps` folds each cut into the per-id ``added`` / ``removed``
+/ ``updated`` mappings :meth:`DynamicC.apply_round` consumes.
+
+Folding is per object id, in stream order, so a batch behaves exactly
+like applying its operations one by one (add then remove cancels out,
+repeated updates keep the last payload, remove then add of the same id
+is an update…). Replaying the same operations through the same batcher
+configuration therefore reproduces the same rounds — the property the
+crash-recovery invariant rests on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from .events import ADD, REMOVE, UPDATE, Operation
+
+
+@dataclass
+class RoundOps:
+    """One folded round, ready for ``apply_round``/``observe_round``."""
+
+    added: dict[int, Any] = field(default_factory=dict)
+    removed: list[int] = field(default_factory=list)
+    updated: dict[int, Any] = field(default_factory=dict)
+    first_seq: int = 0
+    last_seq: int = 0
+    raw_count: int = 0
+    #: Operations dropped as no-ops against current membership (e.g. a
+    #: remove of an id the engine never saw).
+    ignored: int = 0
+
+    def __len__(self) -> int:
+        return len(self.added) + len(self.removed) + len(self.updated)
+
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    @classmethod
+    def fold(cls, operations: Sequence[Operation]) -> "RoundOps":
+        """Coalesce a stream slice into net per-id effects."""
+        ops = cls(
+            first_seq=operations[0].seq if operations else 0,
+            last_seq=operations[-1].seq if operations else 0,
+            raw_count=len(operations),
+        )
+        # state per id within this batch: absent | "added" | "removed"
+        # | "updated" — the net effect so far.
+        state: dict[int, str] = {}
+        payloads: dict[int, Any] = {}
+        order: list[int] = []
+        for op in operations:
+            obj_id = op.obj_id
+            if obj_id not in state:
+                order.append(obj_id)
+            previous = state.get(obj_id)
+            if op.kind == ADD:
+                # remove + add of the same id is an update (§6.1); an add
+                # over an earlier in-batch update stays an update.
+                state[obj_id] = "added" if previous in (None, "added") else "updated"
+                payloads[obj_id] = op.payload
+            elif op.kind == UPDATE:
+                state[obj_id] = "added" if previous == "added" else "updated"
+                payloads[obj_id] = op.payload
+            else:  # REMOVE
+                if previous == "added":
+                    # Added and removed within one batch: net no-op.
+                    del state[obj_id]
+                    del payloads[obj_id]
+                    order.remove(obj_id)
+                else:
+                    state[obj_id] = "removed"
+                    payloads.pop(obj_id, None)
+        for obj_id in order:
+            net = state[obj_id]
+            if net == "added":
+                ops.added[obj_id] = payloads[obj_id]
+            elif net == "updated":
+                ops.updated[obj_id] = payloads[obj_id]
+            else:
+                ops.removed.append(obj_id)
+        return ops
+
+    def normalized(self, is_live: Callable[[int], bool]) -> "RoundOps":
+        """Reconcile the folded round against current engine membership.
+
+        Client streams are not trusted to agree with engine state: an
+        Add of a live id degrades to an Update, an Update of an unknown
+        id degrades to an Add, and a Remove of an unknown id is dropped.
+        The reconciliation is a pure function of (round, membership), so
+        replays normalise identically.
+        """
+        out = RoundOps(
+            first_seq=self.first_seq,
+            last_seq=self.last_seq,
+            raw_count=self.raw_count,
+            ignored=self.ignored,
+        )
+        for obj_id, payload in self.added.items():
+            if is_live(obj_id):
+                out.updated[obj_id] = payload
+            else:
+                out.added[obj_id] = payload
+        for obj_id in self.removed:
+            if is_live(obj_id):
+                out.removed.append(obj_id)
+            else:
+                out.ignored += 1
+        for obj_id, payload in self.updated.items():
+            if is_live(obj_id):
+                out.updated[obj_id] = payload
+            else:
+                out.added[obj_id] = payload
+        return out
+
+
+class MicroBatcher:
+    """Cut an operation stream into rounds by count and/or age budget.
+
+    Parameters
+    ----------
+    max_ops:
+        A round is ready once this many operations are pending.
+    max_age:
+        A non-empty pending round is also ready once its oldest
+        operation has waited this many seconds (``None`` disables —
+        the deterministic, replay-friendly default).
+    clock:
+        Injectable time source for the age budget (tests).
+    """
+
+    def __init__(
+        self,
+        max_ops: int = 256,
+        max_age: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_ops < 1:
+            raise ValueError("max_ops must be >= 1")
+        self.max_ops = max_ops
+        self.max_age = max_age
+        self.clock = clock
+        self._pending: list[Operation] = []
+        # Arrival time of each pending op, parallel to _pending, so a
+        # partial remainder keeps its original age after a batch pops.
+        self._arrivals: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def add(self, operation: Operation) -> None:
+        self._pending.append(operation)
+        self._arrivals.append(self.clock())
+
+    def extend(self, operations: Iterable[Operation]) -> None:
+        for operation in operations:
+            self.add(operation)
+
+    def ready(self) -> bool:
+        """Is a full round available?"""
+        if len(self._pending) >= self.max_ops:
+            return True
+        return (
+            self.max_age is not None
+            and bool(self._pending)
+            and self.clock() - self._arrivals[0] >= self.max_age
+        )
+
+    def next_batch(self) -> list[Operation]:
+        """Pop the next round's raw operations (up to ``max_ops``)."""
+        batch = self._pending[: self.max_ops]
+        self._pending = self._pending[self.max_ops :]
+        self._arrivals = self._arrivals[self.max_ops :]
+        return batch
+
+    def drain(self) -> list[Operation]:
+        """Pop everything pending (the explicit flush path)."""
+        batch, self._pending = self._pending, []
+        self._arrivals = []
+        return batch

@@ -1,0 +1,96 @@
+"""Checkpoint store: durable snapshots of all derived (soft) state.
+
+A checkpoint captures every shard's graph payloads, clustering, model
+bundle and training buffer, plus the operation-log sequence number the
+snapshot covers. Crash recovery = load the latest checkpoint + replay
+the oplog suffix (``seq > checkpoint.applied_seq``) — the two-file
+recipe that lets the log be compacted without losing rebuildability.
+
+Files are ``checkpoint-<applied_seq>.json``, written atomically
+(temp + rename) so a crash mid-checkpoint can never corrupt the latest
+good snapshot; older files beyond ``keep`` are pruned.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+
+_NAME = re.compile(r"^checkpoint-(\d+)\.json$")
+
+
+def fsync_directory(directory) -> None:
+    """fsync a directory so a rename into it survives power loss."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class CheckpointManager:
+    """Atomic, numbered JSON checkpoints in one directory."""
+
+    def __init__(self, directory, keep: int = 3) -> None:
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+
+    # ------------------------------------------------------------------
+    def _path_for(self, applied_seq: int) -> pathlib.Path:
+        return self.directory / f"checkpoint-{applied_seq}.json"
+
+    def list_seqs(self) -> list[int]:
+        """Applied-seq of every stored checkpoint, ascending."""
+        seqs = []
+        for entry in self.directory.iterdir():
+            match = _NAME.match(entry.name)
+            if match:
+                seqs.append(int(match.group(1)))
+        return sorted(seqs)
+
+    def save(self, state: dict) -> pathlib.Path:
+        """Write a snapshot; ``state['applied_seq']`` names the file."""
+        applied_seq = int(state["applied_seq"])
+        path = self._path_for(applied_seq)
+        temp = path.with_suffix(".json.tmp")
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(state, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+        # Without the directory fsync the new dirent may not survive a
+        # power loss even though the (already-fsynced) contents would —
+        # and the caller is about to compact the oplog on our word.
+        fsync_directory(self.directory)
+        self.prune()
+        return path
+
+    def load_latest(self) -> dict | None:
+        """The newest readable snapshot, or ``None`` when fresh.
+
+        A truncated file (crash while the *previous* process wrote it
+        non-atomically, or disk corruption) is skipped in favour of the
+        next-newest checkpoint rather than failing recovery outright.
+        """
+        for applied_seq in reversed(self.list_seqs()):
+            path = self._path_for(applied_seq)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    return json.load(handle)
+            except (json.JSONDecodeError, OSError):
+                continue
+        return None
+
+    def prune(self) -> None:
+        """Drop all but the newest ``keep`` checkpoints."""
+        seqs = self.list_seqs()
+        for applied_seq in seqs[: -self.keep]:
+            try:
+                self._path_for(applied_seq).unlink()
+            except OSError:
+                pass

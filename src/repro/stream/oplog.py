@@ -1,0 +1,151 @@
+"""Append-only operation log (the service's only hard state).
+
+Following the log-first architecture of streaming engines (GnitzDB's
+"hard state = operation log, everything else is soft state"), every
+ingested operation is appended here as one JSON line *before* it is
+applied anywhere. All derived state — clusterings, similarity graphs,
+trained models — can be rebuilt by replaying the log, or restored from
+a checkpoint plus the log suffix.
+
+Durability/robustness properties:
+
+* sequence numbers are assigned by the log, monotonically from 1;
+* a crash mid-append leaves at most one torn final line, which replay
+  and re-open both ignore (the WAL tail rule);
+* :meth:`compact` atomically drops the prefix a checkpoint already
+  covers (write-temp + rename).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Iterable, Iterator, Sequence
+
+from .events import Operation
+
+
+class OperationLog:
+    """Append-only JSONL WAL of :class:`~repro.stream.events.Operation`.
+
+    Parameters
+    ----------
+    path:
+        Log file; created (with parents) when missing.
+    fsync:
+        Force an ``fsync`` after every append batch. Off by default —
+        the benchmarks and tests don't need power-loss durability, and
+        a flush already survives process crashes.
+    """
+
+    def __init__(self, path, fsync: bool = False) -> None:
+        self.path = pathlib.Path(path)
+        self.fsync = fsync
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.last_seq = self._heal_tail()
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _heal_tail(self) -> int:
+        """Truncate any torn final line; returns the last valid seq.
+
+        Without this, the next append would concatenate onto the
+        partial line and corrupt an otherwise-valid record.
+        """
+        if not self.path.exists():
+            return 0
+        last_seq = 0
+        valid_end = 0
+        with open(self.path, "r+b") as handle:
+            for raw in handle:
+                if not raw.endswith(b"\n"):
+                    break
+                try:
+                    data = json.loads(raw.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    break
+                valid_end += len(raw)
+                last_seq = int(data["seq"])
+            handle.truncate(valid_end)
+        return last_seq
+
+    # ------------------------------------------------------------------
+    def append(self, operations: Sequence[Operation]) -> list[Operation]:
+        """Assign sequence numbers and durably append; returns stamped ops.
+
+        All-or-nothing: encoding failures (e.g. an unencodable payload)
+        leave ``last_seq`` untouched, so a rejected batch cannot burn
+        sequence numbers — a burned seq would read as a log gap at
+        recovery time.
+        """
+        stamped = []
+        lines = []
+        seq = self.last_seq
+        for operation in operations:
+            seq += 1
+            stamped_op = operation.with_seq(seq)
+            stamped.append(stamped_op)
+            lines.append(json.dumps(stamped_op.to_dict()))
+        if lines:
+            self._handle.write("\n".join(lines) + "\n")
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+        self.last_seq = seq
+        return stamped
+
+    def replay(self, after_seq: int = 0) -> Iterator[Operation]:
+        """Yield logged operations with ``seq > after_seq``, in order."""
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn tail from a crash mid-append; everything after
+                    # it is unreadable garbage by definition.
+                    break
+                operation = Operation.from_dict(data)
+                if operation.seq > after_seq:
+                    yield operation
+
+    def compact(self, upto_seq: int) -> int:
+        """Drop all entries with ``seq <= upto_seq``; returns kept count.
+
+        Safe against crashes: the suffix is written to a temp file which
+        is atomically renamed over the log.
+        """
+        kept = list(self.replay(after_seq=upto_seq))
+        temp = self.path.with_suffix(self.path.suffix + ".compact")
+        # Write the suffix before touching the live handle: a failure
+        # here (disk full, fsync error) leaves the log fully usable.
+        with open(temp, "w", encoding="utf-8") as handle:
+            for operation in kept:
+                handle.write(json.dumps(operation.to_dict()) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._handle.close()
+        try:
+            os.replace(temp, self.path)
+            from .checkpoint import fsync_directory
+
+            fsync_directory(self.path.parent)
+        finally:
+            # Reopen even if the rename failed, so the log object keeps
+            # working against whichever file survived.
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return len(kept)
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "OperationLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,91 @@
+"""Hash routing and the cross-shard membership table.
+
+Objects are partitioned over N independent DynamicC engines by a stable
+integer hash of their id — stable across processes and Python versions
+(unlike builtin ``hash``), so a recovered service routes exactly like
+the crashed one and checkpoints stay valid.
+
+Cluster ids are shard-local; the service namespaces them as
+``"s<shard>:<cid>"`` global ids. The :class:`MembershipTable` is the
+soft-state directory object-id → shard used for liveness checks and
+query fan-out; it is rebuilt from the shard engines on recovery, never
+persisted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .events import Operation
+
+
+def stable_hash(obj_id: int) -> int:
+    """SplitMix64 finaliser — deterministic, well-mixed 64-bit hash."""
+    z = (obj_id + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return z ^ (z >> 31)
+
+
+def global_cluster_id(shard: int, cid: int) -> str:
+    return f"s{shard}:{cid}"
+
+
+def parse_cluster_id(gcid: str) -> tuple[int, int]:
+    """Invert :func:`global_cluster_id`."""
+    shard_part, _, cid_part = gcid.partition(":")
+    if not shard_part.startswith("s") or not cid_part:
+        raise ValueError(f"malformed global cluster id {gcid!r}")
+    return int(shard_part[1:]), int(cid_part)
+
+
+class HashRouter:
+    """Deterministic object-id → shard-index routing."""
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.n_shards = n_shards
+
+    def shard_of(self, obj_id: int) -> int:
+        return stable_hash(obj_id) % self.n_shards
+
+    def partition(self, operations: Sequence[Operation]) -> dict[int, list[Operation]]:
+        """Split a batch into per-shard operation slices (stream order)."""
+        parts: dict[int, list[Operation]] = {}
+        for operation in operations:
+            parts.setdefault(self.shard_of(operation.obj_id), []).append(operation)
+        return parts
+
+
+class MembershipTable:
+    """Directory of live objects: id → owning shard."""
+
+    def __init__(self) -> None:
+        self._shard_of: dict[int, int] = {}
+
+    def __contains__(self, obj_id: int) -> bool:
+        return obj_id in self._shard_of
+
+    def __len__(self) -> int:
+        return len(self._shard_of)
+
+    def shard_of(self, obj_id: int) -> int | None:
+        return self._shard_of.get(obj_id)
+
+    def add(self, obj_id: int, shard: int) -> None:
+        self._shard_of[obj_id] = shard
+
+    def discard(self, obj_id: int) -> None:
+        self._shard_of.pop(obj_id, None)
+
+    def live_ids(self) -> set[int]:
+        return set(self._shard_of)
+
+    def rebuild(self, shard_object_ids: Iterable[Iterable[int]]) -> None:
+        """Reconstruct the directory from each shard's graph (recovery)."""
+        self._shard_of = {
+            obj_id: shard
+            for shard, ids in enumerate(shard_object_ids)
+            for obj_id in ids
+        }

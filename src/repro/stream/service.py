@@ -1,0 +1,379 @@
+"""`ClusteringService` — the durable, sharded DynamicC serving façade.
+
+Architecture (log-first, GnitzDB-style):
+
+1. **ingest** — operations are stamped and appended to the
+   :class:`~repro.stream.oplog.OperationLog` (the only hard state),
+   then buffered in the :class:`~repro.stream.batching.MicroBatcher`.
+2. **apply** — each full micro-batch is hash-partitioned over N
+   independent :class:`~repro.stream.shard.StreamShard` engines; every
+   shard folds + normalises its slice and runs one DynamicC round
+   (observe while warming up, predict once trained).
+3. **query** — ``cluster_of`` routes through the membership table;
+   ``members`` / ``clusters`` address shard-namespaced global cluster
+   ids (``"s<shard>:<cid>"``).
+4. **checkpoint / recover** — a checkpoint snapshots all shard state at
+   the last *applied* sequence number (it never forces pending batches
+   out, and explicit flushes leave markers in the log, so round
+   boundaries are preserved); recovery loads the latest snapshot and
+   replays the log suffix, reproducing exactly the memberships of an
+   uninterrupted run. Global cluster *ids* are re-minted on restore —
+   hold on to object ids, not cluster ids, across a crash.
+
+The service is synchronous and single-process — the subsystem every
+following scaling step (async ingest, replication, multi-backend
+storage) builds on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from .batching import MicroBatcher, RoundOps
+from .checkpoint import CheckpointManager
+from .events import FLUSH, Operation
+from .metrics import MetricsRegistry
+from .oplog import OperationLog
+from .router import HashRouter, MembershipTable, global_cluster_id, parse_cluster_id
+from .shard import EngineFactory, StreamShard
+
+
+@dataclass
+class StreamConfig:
+    """Service tunables.
+
+    Attributes
+    ----------
+    n_shards:
+        Number of independent DynamicC engines.
+    batch_max_ops:
+        Micro-batch budget: a round is cut every this many operations.
+    batch_max_age:
+        Optional age budget in seconds (checked on ingest). Age-cut
+        round boundaries are recorded in the oplog as flush markers,
+        so durable services stay replay-exact with an age budget too.
+    train_rounds:
+        Non-empty rounds each shard observes (batch re-clustering +
+        evolution capture) before fitting its models and switching to
+        prediction.
+    oplog_path:
+        Operation-log file; ``None`` runs the service ephemerally
+        (no durability, no recovery).
+    checkpoint_dir:
+        Checkpoint directory; ``None`` disables checkpointing.
+    fsync:
+        fsync the oplog on every append (power-loss durability).
+    keep_checkpoints:
+        Retained snapshot count.
+    compact_on_checkpoint:
+        Drop the oplog prefix a fresh checkpoint covers.
+    """
+
+    n_shards: int = 2
+    batch_max_ops: int = 256
+    batch_max_age: float | None = None
+    train_rounds: int = 3
+    oplog_path: Any = None
+    checkpoint_dir: Any = None
+    fsync: bool = False
+    keep_checkpoints: int = 3
+    compact_on_checkpoint: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.train_rounds < 1:
+            raise ValueError("train_rounds must be >= 1")
+
+
+class ClusteringService:
+    """Durable, sharded clustering over an event stream.
+
+    Parameters
+    ----------
+    engine_factory:
+        Zero-argument callable building one fresh
+        :class:`~repro.core.dynamicc.DynamicC` (with its own empty
+        similarity graph) — called once per shard. Factories must be
+        deterministic for crash recovery to be exact.
+    config:
+        Service tunables; defaults to an ephemeral two-shard service.
+    """
+
+    def __init__(self, engine_factory: EngineFactory, config: StreamConfig | None = None) -> None:
+        self.config = config or StreamConfig()
+        self._engine_factory = engine_factory
+        self.router = HashRouter(self.config.n_shards)
+        self.shards = [
+            StreamShard(index, engine_factory, self.config.train_rounds)
+            for index in range(self.config.n_shards)
+        ]
+        self.membership = MembershipTable()
+        self.metrics = MetricsRegistry(self.config.n_shards)
+        self.batcher = MicroBatcher(
+            max_ops=self.config.batch_max_ops, max_age=self.config.batch_max_age
+        )
+        self.oplog = (
+            OperationLog(self.config.oplog_path, fsync=self.config.fsync)
+            if self.config.oplog_path is not None
+            else None
+        )
+        self.checkpoints = (
+            CheckpointManager(self.config.checkpoint_dir, keep=self.config.keep_checkpoints)
+            if self.config.checkpoint_dir is not None
+            else None
+        )
+        #: Sequence number of the last operation applied to a shard.
+        self.applied_seq = 0
+        # Ephemeral stamping when no oplog is configured.
+        self._next_seq = 1
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(op: Operation | Sequence) -> Operation:
+        if isinstance(op, Operation):
+            return op
+        kind, obj_id, *rest = op
+        return Operation(kind, int(obj_id), rest[0] if rest else None)
+
+    def ingest(self, operations: Iterable[Operation | Sequence]) -> int:
+        """Log and buffer operations, applying every full micro-batch.
+
+        Accepts :class:`Operation` objects or ``(kind, id[, payload])``
+        tuples. Returns the number of operations accepted. Reads are
+        eventually consistent: operations beyond the last full batch
+        stay pending until more arrive or :meth:`flush` is called.
+        """
+        ops = [self._coerce(op) for op in operations]
+        if any(op.kind == FLUSH for op in ops):
+            raise ValueError(
+                "flush markers are control records; call flush() instead"
+            )
+        if self.oplog is not None:
+            ops = self.oplog.append(ops)
+        else:
+            ops = [op.with_seq(self._next_seq + offset) for offset, op in enumerate(ops)]
+            self._next_seq += len(ops)
+        self.metrics.events_ingested += len(ops)
+        self.batcher.extend(ops)
+        self._apply_ready()
+        return len(ops)
+
+    def flush(self) -> None:
+        """Force the pending partial batch through as one round.
+
+        The forced boundary is recorded in the oplog as a control
+        marker, so a crash-recovery replay cuts rounds exactly where
+        the live run did.
+        """
+        if not len(self.batcher):
+            return  # nothing pending: no round, no marker
+        if self.oplog is not None:
+            self.oplog.append([Operation(FLUSH, 0)])
+        batch = self.batcher.drain()
+        if batch:
+            self._apply_batch(batch)
+
+    def _apply_ready(self) -> None:
+        while self.batcher.ready():
+            if len(self.batcher) < self.batcher.max_ops and self.oplog is not None:
+                # Age-triggered cut: off the count grid, so it must be
+                # recorded like an explicit flush or replay would cut
+                # this round elsewhere.
+                self.oplog.append([Operation(FLUSH, 0)])
+            self._apply_batch(self.batcher.next_batch())
+
+    def _apply_batch(self, batch: list[Operation]) -> None:
+        start = time.perf_counter()
+        for shard_index, slice_ops in sorted(self.router.partition(batch).items()):
+            shard = self.shards[shard_index]
+            round_ops = RoundOps.fold(slice_ops).normalized(shard.is_live)
+            phase, latency, stats = shard.apply(round_ops)
+            if phase != "skip":
+                self.metrics.shard(shard_index).record_round(
+                    phase, len(round_ops), round_ops.ignored, latency, stats
+                )
+            else:
+                # A round can normalise to nothing and still have
+                # discarded operations worth counting.
+                self.metrics.shard(shard_index).ops_ignored += round_ops.ignored
+            for obj_id in round_ops.added:
+                self.membership.add(obj_id, shard_index)
+            for obj_id in round_ops.removed:
+                self.membership.discard(obj_id)
+        self.applied_seq = batch[-1].seq
+        self.metrics.batches_applied += 1
+        self.metrics.batch_latency.record(time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def cluster_of(self, obj_id: int) -> str | None:
+        """Global cluster id of a live object, ``None`` when unknown."""
+        shard_index = self.membership.shard_of(obj_id)
+        if shard_index is None:
+            return None
+        return global_cluster_id(shard_index, self.shards[shard_index].cluster_of(obj_id))
+
+    def members(self, gcid: str) -> frozenset[int]:
+        """Member object ids of a global cluster id."""
+        shard_index, cid = parse_cluster_id(gcid)
+        if not 0 <= shard_index < len(self.shards):
+            raise KeyError(gcid)
+        try:
+            return self.shards[shard_index].members(cid)
+        except KeyError:
+            raise KeyError(gcid) from None
+
+    def clusters(self) -> dict[str, frozenset[int]]:
+        """All live clusters across shards, by global cluster id."""
+        out: dict[str, frozenset[int]] = {}
+        for shard in self.shards:
+            for cid, members in shard.clusters().items():
+                out[global_cluster_id(shard.index, cid)] = members
+        return out
+
+    def partition(self) -> frozenset[frozenset[int]]:
+        """Canonical global partition (for equality tests / metrics)."""
+        return frozenset(self.clusters().values())
+
+    def num_objects(self) -> int:
+        return len(self.membership)
+
+    def stats(self) -> dict:
+        """Telemetry snapshot plus live engine/stream gauges."""
+        snapshot = self.metrics.snapshot()
+        snapshot.update(
+            applied_seq=self.applied_seq,
+            last_seq=self.oplog.last_seq if self.oplog is not None else self._next_seq - 1,
+            pending_ops=len(self.batcher),
+            num_objects=len(self.membership),
+            num_clusters=sum(shard.num_clusters() for shard in self.shards),
+        )
+        for shard, shard_stats in zip(self.shards, snapshot["shards"]):
+            shard_stats.update(
+                objects=shard.num_objects(),
+                clusters=shard.num_clusters(),
+                trained=shard.trained,
+            )
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def checkpoint(self):
+        """Snapshot all shard state at the last applied sequence number.
+
+        Pending (logged-but-unapplied) operations are deliberately NOT
+        flushed first: they are recovered from the oplog suffix, which
+        keeps micro-batch boundaries — and therefore recovered results —
+        identical to an uninterrupted run. Returns the snapshot path.
+        """
+        if self.checkpoints is None:
+            raise RuntimeError("service has no checkpoint_dir configured")
+        state = {
+            "applied_seq": self.applied_seq,
+            "n_shards": self.config.n_shards,
+            # Round boundaries depend on these, so recovery must run
+            # with the same values or replay would re-cut differently.
+            "batch_max_ops": self.config.batch_max_ops,
+            "train_rounds": self.config.train_rounds,
+            "shards": [shard.checkpoint_state() for shard in self.shards],
+        }
+        path = self.checkpoints.save(state)
+        if self.oplog is not None and self.config.compact_on_checkpoint:
+            # Compact only past the *oldest retained* snapshot, not the
+            # newest: falling back to an older checkpoint (e.g. when the
+            # newest is corrupt) needs the log from that seq forward.
+            self.oplog.compact(min(self.checkpoints.list_seqs()))
+        self.metrics.checkpoints_taken += 1
+        return path
+
+    @classmethod
+    def recover(
+        cls, engine_factory: EngineFactory, config: StreamConfig
+    ) -> "ClusteringService":
+        """Rebuild a service after a crash: latest checkpoint + log replay.
+
+        Works from any durable subset — with no checkpoint the whole log
+        is replayed from scratch; with no log the checkpoint alone is
+        restored (losing only operations logged after it, which without
+        an oplog were never durable anyway).
+        """
+        service = cls(engine_factory, config)
+        state = service.checkpoints.load_latest() if service.checkpoints else None
+        if state is not None:
+            for field_name, want in (
+                ("n_shards", config.n_shards),
+                ("batch_max_ops", config.batch_max_ops),
+                ("train_rounds", config.train_rounds),
+            ):
+                # Older checkpoints may predate a field; only a recorded
+                # mismatch is definitely divergence-inducing.
+                have = state.get(field_name)
+                if have is not None and int(have) != want:
+                    raise ValueError(
+                        f"checkpoint has {field_name}={have}, config wants "
+                        f"{want}; recovery with different round-cutting "
+                        "parameters would silently diverge"
+                    )
+            service.shards = [
+                StreamShard.restore(shard_state, engine_factory, config.train_rounds)
+                for shard_state in state["shards"]
+            ]
+            service.applied_seq = int(state["applied_seq"])
+            service.membership.rebuild(shard.object_ids() for shard in service.shards)
+            # Fast-forward the sequence stampers past the checkpoint:
+            # recovering without a log (or from a lost/compacted one)
+            # must not re-issue already-used sequence numbers, or new
+            # checkpoints would sort below the stale one and the next
+            # recovery would silently discard everything since.
+            service._next_seq = max(service._next_seq, service.applied_seq + 1)
+            if service.oplog is not None:
+                service.oplog.last_seq = max(
+                    service.oplog.last_seq, service.applied_seq
+                )
+        if service.oplog is not None:
+            # Replay cuts rounds by count and logged markers only — the
+            # live run's age-triggered cuts are in the log as markers,
+            # and replay-time arrival clocks must not add new ones.
+            service.batcher.max_age = None
+            try:
+                expected_seq = service.applied_seq
+                for operation in service.oplog.replay(after_seq=service.applied_seq):
+                    if operation.seq != expected_seq + 1:
+                        # Sequence numbers are contiguous by construction,
+                        # so a jump means the log was compacted past this
+                        # checkpoint — refusing beats silently losing ops.
+                        raise RuntimeError(
+                            f"oplog gap: expected seq {expected_seq + 1}, "
+                            f"found {operation.seq}; the log no longer "
+                            "covers this checkpoint"
+                        )
+                    expected_seq = operation.seq
+                    if operation.kind == FLUSH:
+                        batch = service.batcher.drain()
+                        if batch:
+                            service._apply_batch(batch)
+                    else:
+                        service.metrics.events_ingested += 1
+                        service.batcher.add(operation)
+                        service._apply_ready()
+            finally:
+                service.batcher.max_age = config.batch_max_age
+        service.metrics.recoveries += 1
+        return service
+
+    def close(self) -> None:
+        if self.oplog is not None:
+            self.oplog.close()
+
+    def __enter__(self) -> "ClusteringService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

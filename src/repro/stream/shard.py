@@ -1,0 +1,126 @@
+"""One shard: a DynamicC engine with a train-then-serve lifecycle.
+
+Each shard owns an independent similarity graph + DynamicC engine built
+by the service's *engine factory*. The lifecycle mirrors the paper's
+deployment story (§4/§5): the first ``train_rounds`` non-empty rounds
+are *observed* (the batch algorithm runs and evolution is captured),
+the models are fitted, and every later round is served by prediction.
+Until training completes the shard answers queries from the batch
+results — correct, just slower — so a cold service is usable from the
+first round.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterator
+
+from repro.core.dynamicc import DynamicC, RoundStats
+
+from .batching import RoundOps
+from .events import encode_payload, decode_payload
+
+EngineFactory = Callable[[], DynamicC]
+
+
+class StreamShard:
+    """A single DynamicC engine driven by folded stream rounds."""
+
+    def __init__(self, index: int, engine_factory: EngineFactory, train_rounds: int) -> None:
+        self.index = index
+        self.engine = engine_factory()
+        self.train_rounds = train_rounds
+        self.rounds_seen = 0
+        self.trained = False
+
+    # ------------------------------------------------------------------
+    def apply(self, ops: RoundOps) -> tuple[str, float, RoundStats | None]:
+        """Apply one folded round; returns (phase, latency_s, stats).
+
+        ``ops`` must already be normalised against this shard's
+        membership (:meth:`RoundOps.normalized` with :meth:`is_live`).
+        """
+        if ops.is_empty():
+            return "skip", 0.0, None
+        start = time.perf_counter()
+        if not self.trained:
+            self.engine.observe_round(
+                added=ops.added, removed=ops.removed, updated=ops.updated
+            )
+            self.rounds_seen += 1
+            phase, stats = "observe", None
+            # A static stretch of stream can leave the buffer empty (no
+            # evolution, hence no positives and no sampled negatives);
+            # keep observing until there is something to fit.
+            if self.rounds_seen >= self.train_rounds and len(self.engine.buffer):
+                self.engine.train()
+                self.trained = True
+        else:
+            self.engine.apply_round(
+                added=ops.added, removed=ops.removed, updated=ops.updated
+            )
+            self.rounds_seen += 1
+            phase, stats = "predict", self.engine.last_round_stats
+        return phase, time.perf_counter() - start, stats
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def is_live(self, obj_id: int) -> bool:
+        return obj_id in self.engine.graph
+
+    def object_ids(self) -> Iterator[int]:
+        return self.engine.graph.object_ids()
+
+    def cluster_of(self, obj_id: int) -> int:
+        return self.engine.clustering.cluster_of(obj_id)
+
+    def members(self, cid: int) -> frozenset[int]:
+        return self.engine.clustering.members(cid)
+
+    def clusters(self) -> dict[int, frozenset[int]]:
+        clustering = self.engine.clustering
+        return {cid: clustering.members(cid) for cid in clustering.cluster_ids()}
+
+    def num_objects(self) -> int:
+        return len(self.engine.graph)
+
+    def num_clusters(self) -> int:
+        return self.engine.clustering.num_clusters()
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """Everything needed to restore the shard's behaviour.
+
+        The graph is captured as payloads in insertion order — edges are
+        soft state, recomputed deterministically on restore. Restored
+        cluster ids are re-minted (see
+        :meth:`DynamicC.checkpoint_state`), so global cluster ids are
+        not stable across a recovery; memberships are.
+        """
+        return {
+            "index": self.index,
+            "rounds_seen": self.rounds_seen,
+            "trained": self.trained,
+            "payloads": [
+                [obj_id, encode_payload(self.engine.graph.payload(obj_id))]
+                for obj_id in self.engine.graph.object_ids()
+            ],
+            "engine": self.engine.checkpoint_state(),
+        }
+
+    @classmethod
+    def restore(
+        cls, state: dict, engine_factory: EngineFactory, train_rounds: int
+    ) -> "StreamShard":
+        """Rebuild a shard from a :meth:`checkpoint_state` snapshot."""
+        shard = cls(int(state["index"]), engine_factory, train_rounds)
+        shard.rounds_seen = int(state["rounds_seen"])
+        shard.trained = bool(state["trained"])
+        graph = shard.engine.graph
+        for obj_id, payload in state["payloads"]:
+            graph.add_object(int(obj_id), decode_payload(payload))
+        shard.engine.restore_state(state["engine"])
+        return shard

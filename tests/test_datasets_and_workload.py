@@ -11,7 +11,7 @@ from repro.data.generators import (
     generate_road,
 )
 from repro.data.generators.base import duplicate_counts, typo
-from repro.data.workload import OperationMix, Snapshot, build_workload
+from repro.data.workload import DynamicWorkload, OperationMix, Snapshot, build_workload
 
 
 ALL_GENERATORS = [
@@ -183,3 +183,70 @@ class TestWorkload:
         snapshot = Snapshot(added={1: "a"}, removed=[2], updated={3: "c"})
         assert snapshot.changed_ids() == {1, 2, 3}
         assert snapshot.counts() == (1, 1, 1)
+
+
+class TestWorkloadEdgeCases:
+    def test_live_ids_after_add_and_remove_in_one_snapshot(self):
+        """An id added and removed in the same snapshot is dead after it:
+        live_ids_after applies additions before removals, matching the
+        workload-driver semantics where a snapshot's removals act on the
+        post-add live set."""
+        from repro.data.records import Dataset
+        from repro.similarity.table import TableSimilarity
+
+        dataset = Dataset(name="manual", similarity=TableSimilarity({}), records=[])
+        workload = DynamicWorkload(
+            dataset=dataset,
+            initial={1: "a"},
+            snapshots=[
+                Snapshot(added={2: "b", 3: "c"}, removed=[2]),
+                Snapshot(added={4: "d"}, removed=[1]),
+            ],
+        )
+        assert workload.live_ids_after(0) == {1}
+        assert workload.live_ids_after(1) == {1, 3}
+        assert workload.live_ids_after(2) == {3, 4}
+        # Removal wins even against the snapshot's own addition, so the
+        # final count stays consistent with per-snapshot net deltas.
+        assert len(workload.live_ids_after(2)) == workload.final_object_count()
+
+    def test_operation_table_on_empty_initial_set(self):
+        """A workload that starts from nothing must not divide by zero;
+        the first row's percentages are taken against a base of 1."""
+        from repro.data.records import Dataset
+        from repro.similarity.table import TableSimilarity
+
+        dataset = Dataset(name="manual", similarity=TableSimilarity({}), records=[])
+        workload = DynamicWorkload(
+            dataset=dataset,
+            initial={},
+            snapshots=[Snapshot(added={1: "a", 2: "b"}), Snapshot(removed=[1])],
+        )
+        table = workload.operation_table()
+        assert table[0] == (1, 200.0, 0.0, 0.0)
+        assert table[1] == (2, 0.0, 50.0, 0.0)
+
+    def test_event_stream_adapter(self):
+        """Snapshots flatten to stream operations in §6.1 order and the
+        stream covers initial records plus every snapshot op."""
+        dataset = generate_cora(n_entities=10, n_duplicates=30, seed=5)
+        workload = build_workload(
+            dataset,
+            initial_count=20,
+            n_snapshots=3,
+            mixes=OperationMix(add=0.2, remove=0.05, update=0.05),
+            seed=2,
+        )
+        snapshot = workload.snapshots[0]
+        ops = snapshot.as_operations()
+        kinds = [op.kind for op in ops]
+        # removals, then updates, then additions
+        assert kinds == sorted(kinds, key=("remove", "update", "add").index)
+        assert [op.obj_id for op in ops if op.kind == "remove"] == snapshot.removed
+        assert {op.obj_id: op.payload for op in ops if op.kind == "add"} == snapshot.added
+
+        stream = workload.event_stream()
+        n_snapshot_ops = sum(sum(s.counts()) for s in workload.snapshots)
+        assert len(stream) == len(workload.initial) + n_snapshot_ops
+        assert all(op.kind == "add" for op in stream[: len(workload.initial)])
+        assert len(workload.event_stream(include_initial=False)) == n_snapshot_ops

@@ -100,3 +100,117 @@ class TestDynamicCModelBundle:
     def test_untrained_bundle_save_rejected(self, tmp_path):
         with pytest.raises(RuntimeError):
             DynamicCModel().save(tmp_path / "x.json")
+
+    def test_untrained_bundle_dict_rejected(self):
+        from repro.ml.persistence import bundle_to_dict
+
+        with pytest.raises(ValueError):
+            bundle_to_dict(DynamicCModel())
+
+
+class TestDynamicCCheckpointHooks:
+    """The repro.stream durability hooks: full engine state roundtrip."""
+
+    def _trained_engine(self):
+        dataset = generate_cora(n_entities=25, n_duplicates=75, seed=41)
+        workload = build_workload(
+            dataset,
+            initial_count=40,
+            n_snapshots=4,
+            mixes=OperationMix(add=0.2, remove=0.02, update=0.03),
+            seed=2,
+        )
+        graph = dataset.graph()
+        for obj_id, payload in workload.initial.items():
+            graph.add_object(obj_id, payload)
+        dyn = DynamicC(graph, DBIndexObjective(), seed=0)
+        dyn.bootstrap(HillClimbing(DBIndexObjective()).cluster(graph))
+        for snapshot in workload.snapshots[:2]:
+            dyn.observe_round(
+                added=snapshot.added,
+                removed=snapshot.removed,
+                updated=snapshot.updated,
+            )
+        dyn.train()
+        return dataset, workload, dyn
+
+    def test_state_roundtrips_through_json(self):
+        import json
+
+        dataset, workload, dyn = self._trained_engine()
+        state = json.loads(json.dumps(dyn.checkpoint_state()))
+
+        # Rebuild a twin engine over an identical graph.
+        graph = dataset.graph()
+        for obj_id in dyn.graph.object_ids():
+            graph.add_object(obj_id, dyn.graph.payload(obj_id))
+        twin = DynamicC(graph, DBIndexObjective(), seed=999)
+        twin.restore_state(state)
+
+        assert twin.clustering.as_partition() == dyn.clustering.as_partition()
+        assert twin.model.is_trained
+        assert twin.model.merge_theta == dyn.model.merge_theta
+        assert len(twin.buffer) == len(dyn.buffer)
+        # RNG state carried over: both engines draw identically.
+        assert twin._rng.random() == dyn._rng.random()
+
+        # And the twin predicts the next round identically.
+        snapshot = workload.snapshots[2]
+        dyn.apply_round(
+            added=snapshot.added, removed=snapshot.removed, updated=snapshot.updated
+        )
+        twin.apply_round(
+            added=snapshot.added, removed=snapshot.removed, updated=snapshot.updated
+        )
+        assert twin.clustering.as_partition() == dyn.clustering.as_partition()
+
+    def test_untrained_engine_checkpoints_without_model(self):
+        dataset = generate_cora(n_entities=10, n_duplicates=20, seed=1)
+        graph = dataset.graph()
+        for record in dataset.records[:10]:
+            graph.add_object(record.id, record.payload)
+        dyn = DynamicC(graph, DBIndexObjective(), seed=0)
+        dyn.bootstrap(HillClimbing(DBIndexObjective()).cluster(graph))
+        state = dyn.checkpoint_state()
+        assert state["model"] is None
+
+        twin = DynamicC(graph, DBIndexObjective(), seed=0)
+        twin.restore_state(state)
+        assert not twin.model.is_trained
+        assert twin.clustering.as_partition() == dyn.clustering.as_partition()
+
+    def test_restore_keeps_configured_model_factories(self):
+        """The bundle serialises fitted parameters, not factories; a
+        restored engine must refit in its configured model family."""
+        from repro.ml import DecisionTreeClassifier
+
+        dataset, _, dyn = self._trained_engine()
+        state = dyn.checkpoint_state()
+
+        graph = dataset.graph()
+        for obj_id in dyn.graph.object_ids():
+            graph.add_object(obj_id, dyn.graph.payload(obj_id))
+        twin = DynamicC(
+            graph,
+            DBIndexObjective(),
+            model=DynamicCModel(merge_factory=DecisionTreeClassifier),
+            seed=0,
+        )
+        twin.restore_state(state)
+        assert twin.model._merge_factory is DecisionTreeClassifier
+        # A post-recovery refit really fits the configured family.
+        twin.train()
+        assert isinstance(twin.model.merge_model, DecisionTreeClassifier)
+
+    def test_untrained_snapshot_clears_trained_model(self):
+        _, _, trained = self._trained_engine()
+        untrained_state = {
+            "labels": trained.checkpoint_state()["labels"],
+            "model": None,
+            "buffer": trained.buffer.state_dict(),
+            "rounds_since_fit": 0,
+            "rng_state": trained._rng.bit_generator.state,
+        }
+        trained.restore_state(untrained_state)
+        # A stale trained model must not survive an untrained snapshot.
+        assert not trained.model.is_trained
