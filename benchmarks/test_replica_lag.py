@@ -1,0 +1,139 @@
+"""Replica lag & catch-up — the `repro.replica` perf trajectory.
+
+Not a paper figure: benchmarks the replication layer on the synthetic
+Access workload so future scaling PRs (async shipping, parallel
+replica apply, snapshot shipping) have numbers to beat. The primary
+ingests the stream in bursts; after each burst we record how far the
+replica has fallen behind (seq delta) and how long one `sync()` takes
+to catch it up, plus end-to-end shipped-bytes accounting. Emits a
+table and ``benchmarks/results/replica_lag.json``.
+
+Correctness is asserted only loosely here (partition equality at the
+end — the hard invariants live in ``tests/test_replica.py``); absolute
+timings are machine-dependent and deliberately not gated.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.clustering.objectives import DBIndexObjective
+from repro.core import DynamicC
+from repro.data.generators import generate_access
+from repro.data.workload import OperationMix, build_workload
+from repro.eval import render_table
+from repro.replica import ReplicatedClusteringService
+from repro.stream import StreamConfig
+
+from conftest import RESULTS_DIR
+
+N_REPLICAS = 2
+BURSTS = 6
+
+
+def test_replica_lag(emit, tmp_path):
+    dataset = generate_access(n_profiles=10, n_records=700, seed=9)
+    workload = build_workload(
+        dataset,
+        initial_count=250,
+        n_snapshots=8,
+        mixes=OperationMix(add=0.12, remove=0.03, update=0.03),
+        seed=4,
+    )
+    events = workload.event_stream()
+
+    def factory():
+        return DynamicC(dataset.graph(), DBIndexObjective(), seed=0)
+
+    config = StreamConfig(
+        n_shards=2,
+        batch_max_ops=64,
+        train_rounds=2,
+        oplog_path=tmp_path / "primary" / "oplog.jsonl",
+        checkpoint_dir=tmp_path / "primary" / "checkpoints",
+    )
+    service = ReplicatedClusteringService(factory, config, max_segment_ops=256)
+    for index in range(N_REPLICAS):
+        service.add_replica(name=f"replica-{index}")
+
+    rows = []
+    burst_size = (len(events) + BURSTS - 1) // BURSTS
+    for burst in range(BURSTS):
+        chunk = events[burst * burst_size : (burst + 1) * burst_size]
+        if not chunk:
+            break
+        ingest_start = time.perf_counter()
+        service.ingest(chunk)
+        ingest_s = time.perf_counter() - ingest_start
+
+        behind = max(s["behind"] for s in service.shipper.stats())
+        sync_start = time.perf_counter()
+        applied = service.sync()
+        sync_s = time.perf_counter() - sync_start
+        rows.append(
+            {
+                "burst": burst,
+                "ops": len(chunk),
+                "ingest_s": ingest_s,
+                "behind_before_sync": behind,
+                "ops_applied_on_sync": applied,
+                "sync_s": sync_s,
+                "catchup_ops_per_s": applied / sync_s if sync_s > 0 else 0.0,
+                "max_seq_delta_after": max(
+                    lag["seq_delta"] for lag in service.lag()
+                ),
+            }
+        )
+
+    service.flush()
+    service.sync()
+    primary_partition = service.primary.partition()
+    for replica in service.replicas:
+        assert replica.partition() == primary_partition
+        assert replica.lag()["seq_delta"] == 0
+
+    emit(
+        render_table(
+            ["burst", "ops", "behind", "applied", "sync s", "catchup ops/s"],
+            [
+                [
+                    r["burst"],
+                    r["ops"],
+                    r["behind_before_sync"],
+                    r["ops_applied_on_sync"],
+                    r["sync_s"],
+                    r["catchup_ops_per_s"],
+                ]
+                for r in rows
+            ],
+            title=(
+                f"\n== repro.replica lag/catch-up on Access "
+                f"({N_REPLICAS} replicas, single-threaded) =="
+            ),
+            precision=1,
+        )
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "replica_lag.json", "w") as handle:
+        json.dump(
+            {
+                "workload": "access",
+                "n_replicas": N_REPLICAS,
+                "events": len(events),
+                "bursts": rows,
+                "final": {
+                    "primary_oplog_bytes": service.primary.stats()["oplog_bytes"],
+                    "clusters": len(primary_partition),
+                    "shipping": service.shipper.stats(),
+                },
+            },
+            handle,
+            indent=2,
+        )
+        handle.write("\n")
+
+    # Sanity floors only — the trajectory lives in the JSON artefact.
+    assert all(r["catchup_ops_per_s"] > 0 for r in rows)
+    assert all(r["max_seq_delta_after"] == 0 for r in rows)
+    service.close()

@@ -1,0 +1,109 @@
+"""Primary/replica DynamicC: oplog shipping, lagging reads, failover.
+
+A durable primary ingests a dynamic workload in bursts while two read
+replicas (one in-memory, one durable with sqlite storage) tail its
+shipped operation log. Along the way: explicit lag before/after each
+catch-up, membership equality after catch-up, and a follower→primary
+failover that keeps serving:
+
+    python examples/replicated_service.py
+"""
+
+import pathlib
+import tempfile
+
+from repro.clustering.objectives import DBIndexObjective
+from repro.core import DynamicC
+from repro.data.generators import generate_access
+from repro.data.workload import OperationMix, build_workload
+from repro.replica import ReplicatedClusteringService
+from repro.stream import StreamConfig
+
+# ---------------------------------------------------------------------------
+# 1. A workload, an engine factory, a durable primary with two replicas.
+# ---------------------------------------------------------------------------
+dataset = generate_access(n_profiles=8, n_records=500, seed=3)
+workload = build_workload(
+    dataset,
+    initial_count=150,
+    n_snapshots=8,
+    mixes=OperationMix(add=0.14, remove=0.03, update=0.04),
+    seed=2,
+)
+events = workload.event_stream()
+print(f"workload: {len(events)} events")
+
+def factory():
+    return DynamicC(dataset.graph(), DBIndexObjective(), seed=0)
+
+state_dir = pathlib.Path(tempfile.mkdtemp(prefix="repro-replica-"))
+service = ReplicatedClusteringService(
+    factory,
+    StreamConfig(
+        n_shards=2,
+        batch_max_ops=48,
+        train_rounds=2,
+        oplog_path=state_dir / "primary" / "oplog.jsonl",
+        checkpoint_dir=state_dir / "primary" / "checkpoints",
+    ),
+)
+service.add_replica(name="mem-replica")  # disposable, in-memory
+service.add_replica(  # durable follower on sqlite storage: the promotion heir
+    StreamConfig(
+        n_shards=2,
+        batch_max_ops=48,
+        train_rounds=2,
+        oplog_path=state_dir / "heir" / "oplog.sqlite",
+        checkpoint_dir=state_dir / "heir" / "checkpoints",
+        log_backend="sqlite",
+        checkpoint_backend="sqlite",
+    ),
+    name="heir",
+)
+
+# ---------------------------------------------------------------------------
+# 2. Ingest on the primary in bursts; replicas answer (stale) reads and
+#    catch up on every sync().
+# ---------------------------------------------------------------------------
+burst = len(events) // 4
+for start in range(0, len(events), burst):
+    service.ingest(events[start : start + burst])
+    # Two views of lag: the shipper knows how far each follower's cursor
+    # trails the log; lag() is each replica's own (last-heard) view.
+    behind = [s["behind"] for s in service.shipper.stats()]
+    service.sync()
+    after = [(lag["name"], lag["seq_delta"]) for lag in service.lag()]
+    print(f"burst at {start:4d}: followers behind by {behind} ops -> after sync {after}")
+
+service.flush()
+service.sync()
+
+# Reads round-robin over the replicas; membership equality after catch-up.
+primary_live = service.primary.membership.live_ids()
+assert all(r.service.membership.live_ids() == primary_live for r in service.replicas)
+assert all(r.partition() == service.primary.partition() for r in service.replicas)
+some_id = sorted(primary_live)[0]
+print(
+    f"caught up: {len(primary_live)} objects on all nodes; object {some_id} "
+    f"has {len(service.members_of(some_id))} cluster peers (served by a replica)"
+)
+
+# ---------------------------------------------------------------------------
+# 3. Failover: the durable follower becomes the primary (recover path),
+#    the in-memory replica keeps tailing the new log, ingest continues.
+# ---------------------------------------------------------------------------
+service.checkpoint()
+promoted = service.promote(1)  # "heir"
+print(f"failover: new primary at seq {promoted.oplog.last_seq} (sqlite log)")
+
+late_updates = [("update", some_id, dataset.records[0].payload)]
+service.ingest(late_updates)
+service.flush()
+service.sync()
+assert service.replicas[0].partition() == promoted.partition()
+print(
+    f"post-failover: {promoted.num_objects()} objects, "
+    f"{len(promoted.clusters())} clusters, replica lag "
+    f"{service.lag()[0]['seq_delta']} — membership equal on both nodes"
+)
+service.close()

@@ -23,9 +23,13 @@ Public API tour
 * :mod:`repro.eval` — pair-counting F1, purity metrics, and the
   experiment harness.
 * :mod:`repro.stream` — the durable, sharded streaming service layer:
-  operation log (WAL), micro-batcher, hash-routed engine pool,
-  checkpoint/recovery, metrics, and the
+  operation log (WAL, JSONL or sqlite backed), micro-batcher,
+  hash-routed engine pool, checkpoint/recovery, metrics, and the
   :class:`~repro.stream.ClusteringService` façade.
+* :mod:`repro.replica` — replication on top of the log: oplog shipping
+  over pluggable transports, read replicas with explicit lag, and the
+  :class:`~repro.replica.ReplicatedClusteringService` primary/replica
+  façade with follower→primary failover.
 """
 
 from repro.clustering import Clustering
@@ -44,10 +48,11 @@ from repro.core import (
     make_dynamic_dbscan,
 )
 from repro.data import build_workload
+from repro.replica import ReadReplica, ReplicatedClusteringService
 from repro.similarity import SimilarityGraph
 from repro.stream import ClusteringService, Operation, StreamConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DBSCAN",
@@ -65,6 +70,8 @@ __all__ = [
     "NaiveIncremental",
     "ObjectiveFunction",
     "Operation",
+    "ReadReplica",
+    "ReplicatedClusteringService",
     "SimilarityGraph",
     "StreamConfig",
     "build_workload",

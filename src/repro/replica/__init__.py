@@ -1,0 +1,35 @@
+"""repro.replica — oplog shipping, read replicas, and failover.
+
+Builds on :mod:`repro.stream`'s log-first design: the operation log is
+the only hard state, so *anything that can read the log can serve
+reads*. This package turns that property into a primary/replica system:
+
+* :mod:`repro.replica.segment` — :class:`LogSegment`, the contiguous,
+  self-validating unit of shipping (+ :class:`ReplicationGap`);
+* :mod:`repro.replica.transport` — segment channels: in-process queue
+  and filesystem mailbox (cross-process, no network stack);
+* :mod:`repro.replica.shipper` — :class:`LogShipper`, per-follower
+  cursors over the primary's committed log suffix;
+* :mod:`repro.replica.replica` — :class:`ReadReplica`: checkpoint
+  bootstrap, gap-refusing tailing, explicit :meth:`~ReadReplica.lag`,
+  and :meth:`~ReadReplica.promote` failover;
+* :mod:`repro.replica.service` — :class:`ReplicatedClusteringService`,
+  the one-primary/N-replica façade with round-robin read routing.
+"""
+
+from .replica import ReadReplica
+from .segment import LogSegment, ReplicationGap
+from .service import ReplicatedClusteringService
+from .shipper import LogShipper
+from .transport import InProcessTransport, MailboxTransport, Transport
+
+__all__ = [
+    "InProcessTransport",
+    "LogSegment",
+    "LogShipper",
+    "MailboxTransport",
+    "ReadReplica",
+    "ReplicatedClusteringService",
+    "ReplicationGap",
+    "Transport",
+]

@@ -1,0 +1,276 @@
+"""ReadReplica: a follower that serves reads from shipped log state.
+
+A replica is "anything that can read the log": it bootstraps from the
+latest checkpoint (its own, or one handed over from the primary's
+store), then tails shipped :class:`~repro.replica.segment.LogSegment`
+batches — persisting each to its *own* operation log before applying
+it, so a durable follower is itself recoverable and, via
+:meth:`promote`, a primary-in-waiting.
+
+Applying reuses :meth:`ClusteringService.apply_logged
+<repro.stream.service.ClusteringService.apply_logged>`, the same code
+path crash recovery replays through — which is exactly why a caught-up
+follower reproduces the primary's partition *identically* (frozenset
+equality), not approximately: same log, same round cuts, same
+deterministic engines.
+
+Consumption is gap-refusing and duplicate-tolerant: a segment that
+skips past ``received_seq + 1`` raises
+:class:`~repro.replica.segment.ReplicationGap` (stale-but-consistent
+beats divergent), while an already-seen segment (at-least-once
+transport redelivery) is dropped.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.stream.checkpoint import open_checkpoints
+from repro.stream.service import ClusteringService, StreamConfig
+from repro.stream.shard import EngineFactory
+
+from .segment import LogSegment, ReplicationGap
+from .transport import Transport
+
+
+class ReadReplica:
+    """A read-serving follower fed by shipped log segments.
+
+    Parameters
+    ----------
+    engine_factory:
+        The same deterministic factory the primary uses — a must, or
+        replayed rounds diverge.
+    config:
+        The replica's own :class:`~repro.stream.service.StreamConfig`.
+        Round-cut parameters must match the primary's; ``oplog_path`` /
+        ``checkpoint_dir`` name the *replica's* durable state (may be
+        ``None`` for a disposable in-memory follower).
+    transport:
+        The channel this replica polls segments from.
+    snapshot:
+        Optional checkpoint state to bootstrap from when the replica
+        has no durable store of its own (see :meth:`bootstrap`).
+    """
+
+    def __init__(
+        self,
+        engine_factory: EngineFactory,
+        config: StreamConfig,
+        transport: Transport,
+        *,
+        name: str = "replica",
+        clock: Callable[[], float] = time.time,
+        snapshot: dict | None = None,
+    ) -> None:
+        self.name = name
+        self.transport = transport
+        self.clock = clock
+        if snapshot is not None and config.oplog_path is not None:
+            # The local log will start right after the snapshot's seq.
+            # Unless the local checkpoint store holds that snapshot,
+            # any later recover-from-disk (a restart, promote()) would
+            # replay a log whose prefix is nowhere and refuse the gap —
+            # the replica would be durable in name only.
+            raise ValueError(
+                f"{name}: an in-memory-only snapshot cannot seed a replica "
+                "with its own oplog; use bootstrap(), which stores the "
+                "snapshot in the replica's checkpoint_dir first (required)"
+            )
+        # The recover path does all the heavy lifting: restore the
+        # newest snapshot, refuse divergent round-cut parameters,
+        # replay the local log suffix.
+        self.service = ClusteringService.recover(
+            engine_factory, config, snapshot=snapshot
+        )
+        #: Last seq this replica holds (log content, markers included).
+        self.received_seq = (
+            self.service.oplog.last_seq
+            if self.service.oplog is not None
+            else self.service.applied_seq
+        )
+        #: The primary's last committed seq, as of the last segment heard.
+        self.primary_seq = self.received_seq
+        self.last_heard_at: float | None = None
+        self.segments_applied = 0
+        self.duplicates_dropped = 0
+
+    @classmethod
+    def bootstrap(
+        cls,
+        engine_factory: EngineFactory,
+        config: StreamConfig,
+        transport: Transport,
+        *,
+        snapshot: dict | None = None,
+        name: str = "replica",
+        clock: Callable[[], float] = time.time,
+    ) -> "ReadReplica":
+        """Start a follower, seeding it from a primary's snapshot.
+
+        A durable replica copies the snapshot into its *own* checkpoint
+        store first — so it restarts (and promotes) from local state
+        without needing the primary again; an ephemeral replica restores
+        the snapshot directly in memory. A local snapshot newer than the
+        offered one wins.
+        """
+        if snapshot is not None and config.oplog_path is not None and config.checkpoint_dir is None:
+            raise ValueError(
+                f"{name}: a snapshot-seeded replica with its own oplog also "
+                "needs its own checkpoint_dir — its log starts past the "
+                "snapshot, so restart/promote() without a locally stored "
+                "snapshot would refuse the log gap"
+            )
+        if snapshot is not None and config.checkpoint_dir is not None:
+            store = open_checkpoints(
+                config.checkpoint_dir,
+                backend=config.checkpoint_backend,
+                keep=config.keep_checkpoints,
+            )
+            local = store.load_latest()
+            if local is None or int(local["applied_seq"]) < int(snapshot["applied_seq"]):
+                store.save(snapshot)
+            store.close()
+            snapshot = None  # recover reads the seeded store
+        return cls(
+            engine_factory, config, transport, name=name, clock=clock, snapshot=snapshot
+        )
+
+    # ------------------------------------------------------------------
+    # Tailing
+    # ------------------------------------------------------------------
+    def poll(self) -> int:
+        """Drain the transport and apply; returns operations applied."""
+        applied = 0
+        for segment in self.transport.poll():
+            applied += self.apply_segment(segment)
+        return applied
+
+    def apply_segment(self, segment: LogSegment) -> int:
+        """Persist and apply one shipped segment; returns ops applied."""
+        self.primary_seq = max(self.primary_seq, segment.primary_seq)
+        if self.last_heard_at is None or segment.shipped_at > self.last_heard_at:
+            self.last_heard_at = segment.shipped_at
+        if segment.is_heartbeat:
+            return 0
+        if segment.last_seq <= self.received_seq:
+            # At-least-once transports may redeliver; already applied.
+            self.duplicates_dropped += 1
+            return 0
+        if segment.first_seq != self.received_seq + 1:
+            raise ReplicationGap(
+                f"{self.name} holds seq {self.received_seq} but was shipped "
+                f"[{segment.first_seq}, {segment.last_seq}]; refusing to "
+                "apply past a gap — re-bootstrap from a newer checkpoint"
+            )
+        if self.service.oplog is not None:
+            # Hard state first (the WAL rule), then derived state.
+            self.service.oplog.append_stamped(segment.operations)
+        self.service.apply_logged(segment.operations, expect_after=self.received_seq)
+        self.received_seq = segment.last_seq
+        self.segments_applied += 1
+        return len(segment)
+
+    def lag(self) -> dict:
+        """How far behind the primary this replica's answers are.
+
+        ``seq_delta`` is in operations (primary's last committed seq
+        minus the last seq received here); ``staleness_s`` is the
+        wall-clock age of the last heard segment/heartbeat, ``None``
+        until first contact.
+        """
+        return {
+            "name": self.name,
+            "received_seq": self.received_seq,
+            "applied_seq": self.service.applied_seq,
+            "primary_seq": self.primary_seq,
+            "seq_delta": max(0, self.primary_seq - self.received_seq),
+            "staleness_s": (
+                max(0.0, self.clock() - self.last_heard_at)
+                if self.last_heard_at is not None
+                else None
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Reads (same query surface as the primary façade)
+    # ------------------------------------------------------------------
+    def cluster_of(self, obj_id: int) -> str | None:
+        return self.service.cluster_of(obj_id)
+
+    def members(self, gcid: str) -> frozenset[int]:
+        return self.service.members(gcid)
+
+    def clusters(self) -> dict[str, frozenset[int]]:
+        return self.service.clusters()
+
+    def partition(self) -> frozenset[frozenset[int]]:
+        return self.service.partition()
+
+    def num_objects(self) -> int:
+        return self.service.num_objects()
+
+    def stats(self) -> dict:
+        snapshot = self.service.stats()
+        snapshot["replica"] = self.lag()
+        snapshot["segments_applied"] = self.segments_applied
+        snapshot["duplicates_dropped"] = self.duplicates_dropped
+        return snapshot
+
+    def checkpoint(self):
+        """Snapshot replica state and compact its local log copy.
+
+        Keeps a long-lived durable follower's disk footprint bounded,
+        independently of the primary's checkpoint cadence.
+        """
+        return self.service.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+    def promote(self, config: StreamConfig | None = None) -> ClusteringService:
+        """Fail over: this follower becomes a primary.
+
+        Checkpoints local state, then rebuilds through
+        :meth:`ClusteringService.recover` over the replica's own log and
+        checkpoint store — the exact crash-recovery path, so the
+        promoted primary's subsequent ingest matches an uninterrupted
+        run's. Only a durable follower can be promoted: a primary must
+        own a log for its ingest to be recoverable (and shippable to
+        the remaining followers).
+
+        ``config`` may adjust storage policy (fsync, retention) for the
+        new primary; divergent round-cut parameters are refused.
+        """
+        current = self.service.config
+        if config is None:
+            config = current
+        elif config.round_cut_params() != current.round_cut_params():
+            raise ValueError(
+                f"promotion refused: new config round-cut parameters "
+                f"{config.round_cut_params()} diverge from the replicated "
+                f"state's {current.round_cut_params()}"
+            )
+        if self.service.oplog is None:
+            raise ValueError(
+                f"{self.name} is ephemeral (no oplog); only a durable "
+                "replica can be promoted to primary"
+            )
+        factory = self.service._engine_factory
+        if self.service.checkpoints is not None:
+            # Snapshot first so the recover below replays only the
+            # (tiny) logged-but-unapplied suffix, not the whole log.
+            self.service.checkpoint()
+        self.service.close()
+        return ClusteringService.recover(factory, config)
+
+    def close(self) -> None:
+        self.service.close()
+        self.transport.close()
+
+    def __enter__(self) -> "ReadReplica":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,113 @@
+"""Log segments: the unit of oplog shipping.
+
+A :class:`LogSegment` is a contiguous, committed slice of the primary's
+operation log — seq-addressed, self-validating, JSON-serialisable for
+transports that cross a process boundary. Every segment also carries
+the primary's ``last committed seq`` and a wall-clock ship timestamp,
+which is what lets a follower report an honest :meth:`lag
+<repro.replica.replica.ReadReplica.lag>` (seq delta + staleness)
+without a side channel. A segment with no operations is a heartbeat:
+pure lag telemetry, no log content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.stream.events import Operation
+
+
+class ReplicationGap(RuntimeError):
+    """A follower (or shipper) hit a hole in the shipped sequence.
+
+    Raised instead of silently skipping: applying past a gap would
+    diverge the replica from the primary forever, which is strictly
+    worse than being stale.
+    """
+
+
+@dataclass(frozen=True)
+class LogSegment:
+    """A contiguous slice ``[first_seq, last_seq]`` of shipped oplog.
+
+    ``operations`` empty (with ``last_seq == first_seq - 1``) is a
+    heartbeat — it advances a follower's view of ``primary_seq`` and
+    ``shipped_at`` without carrying log content.
+    """
+
+    first_seq: int
+    last_seq: int
+    operations: tuple[Operation, ...]
+    #: The primary's last committed seq when this segment was cut.
+    primary_seq: int
+    #: Wall-clock ship time (``time.time()`` domain) on the primary.
+    shipped_at: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operations", tuple(self.operations))
+        if not self.operations:
+            if self.last_seq != self.first_seq - 1:
+                raise ValueError(
+                    f"empty segment must span [n, n-1], got "
+                    f"[{self.first_seq}, {self.last_seq}]"
+                )
+            return
+        expected = self.first_seq
+        for operation in self.operations:
+            if operation.seq != expected:
+                raise ValueError(
+                    f"segment is not contiguous: expected seq {expected}, "
+                    f"got {operation.seq}"
+                )
+            expected += 1
+        if self.last_seq != self.operations[-1].seq:
+            raise ValueError(
+                f"segment bounds [{self.first_seq}, {self.last_seq}] disagree "
+                f"with operations ending at {self.operations[-1].seq}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    @property
+    def is_heartbeat(self) -> bool:
+        return not self.operations
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "first_seq": self.first_seq,
+            "last_seq": self.last_seq,
+            "primary_seq": self.primary_seq,
+            "shipped_at": self.shipped_at,
+            "operations": [operation.to_dict() for operation in self.operations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LogSegment":
+        return cls(
+            first_seq=int(data["first_seq"]),
+            last_seq=int(data["last_seq"]),
+            operations=tuple(
+                Operation.from_dict(item) for item in data["operations"]
+            ),
+            primary_seq=int(data["primary_seq"]),
+            shipped_at=float(data["shipped_at"]),
+        )
+
+    @classmethod
+    def heartbeat(
+        cls, after_seq: int, primary_seq: int, shipped_at: float
+    ) -> "LogSegment":
+        """An empty segment asserting "nothing new after ``after_seq``"."""
+        return cls(
+            first_seq=after_seq + 1,
+            last_seq=after_seq,
+            operations=(),
+            primary_seq=primary_seq,
+            shipped_at=shipped_at,
+        )

@@ -1,0 +1,249 @@
+"""ReplicatedClusteringService: one primary, N read replicas.
+
+The deployment façade for read-heavy traffic: writes (``ingest`` /
+``flush`` / ``checkpoint``) go to the durable primary
+:class:`~repro.stream.service.ClusteringService`; reads round-robin
+across the attached :class:`~repro.replica.replica.ReadReplica`
+followers (falling back to the primary while none are attached). A
+:class:`~repro.replica.shipper.LogShipper` fans the primary's oplog
+out to every follower; :meth:`sync` is the catch-up heartbeat, and
+:meth:`promote` is follower→primary failover.
+
+Reads are eventually consistent with explicit, queryable staleness
+(:meth:`lag`). Cluster *ids* are replica-relative — each restore
+re-mints them, exactly like crash recovery does — so cross-query code
+should key on object ids (or use :meth:`members_of`, which resolves
+id → cluster → members against one replica).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Callable, Iterable, Sequence
+
+from repro.stream.events import Operation
+from repro.stream.service import ClusteringService, StreamConfig
+from repro.stream.shard import EngineFactory
+
+from .replica import ReadReplica
+from .shipper import LogShipper
+from .transport import InProcessTransport, Transport
+
+
+class ReplicatedClusteringService:
+    """Primary/replica clustering with round-robin read routing.
+
+    Parameters
+    ----------
+    engine_factory:
+        Deterministic per-shard engine factory, shared by the primary
+        and every replica.
+    config:
+        The primary's config. ``oplog_path`` is required — the log is
+        the replication stream, so an ephemeral primary has nothing to
+        ship.
+    max_segment_ops:
+        Chunk bound for shipped segments.
+    clock:
+        Wall-clock source for segment timestamps and staleness
+        (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        engine_factory: EngineFactory,
+        config: StreamConfig,
+        *,
+        max_segment_ops: int = 512,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if config.oplog_path is None:
+            raise ValueError(
+                "replication requires a durable primary: set oplog_path"
+            )
+        self._factory = engine_factory
+        self.clock = clock
+        self.max_segment_ops = max_segment_ops
+        self.primary = ClusteringService(engine_factory, config)
+        self.shipper = LogShipper(
+            self.primary.oplog, max_segment_ops=max_segment_ops, clock=clock
+        )
+        self.replicas: list[ReadReplica] = []
+        self._reader = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_replica(
+        self,
+        config: StreamConfig | None = None,
+        *,
+        transport: Transport | None = None,
+        name: str | None = None,
+    ) -> ReadReplica:
+        """Attach a follower, bootstrapped from the primary's newest snapshot.
+
+        ``config=None`` attaches a disposable in-memory replica (same
+        round-cut parameters, no durable state); pass a config with its
+        own ``oplog_path`` / ``checkpoint_dir`` for a follower that can
+        survive restarts and be promoted. Divergent round-cut parameters
+        are refused up front — a follower cutting different rounds from
+        the same log would silently diverge, the replication analogue of
+        the recover-time config check.
+        """
+        name = name or f"replica-{len(self.replicas)}"
+        transport = transport or InProcessTransport()
+        if config is None:
+            config = replace(
+                self.primary.config, oplog_path=None, checkpoint_dir=None, fsync=False
+            )
+        elif config.round_cut_params() != self.primary.config.round_cut_params():
+            raise ValueError(
+                f"replica {name!r} refused: round-cut parameters "
+                f"{config.round_cut_params()} diverge from the primary's "
+                f"{self.primary.config.round_cut_params()}"
+            )
+        snapshot = (
+            self.primary.checkpoints.load_latest()
+            if self.primary.checkpoints is not None
+            else None
+        )
+        replica = ReadReplica.bootstrap(
+            self._factory,
+            config,
+            transport,
+            snapshot=snapshot,
+            name=name,
+            clock=self.clock,
+        )
+        # Ship only what the snapshot doesn't already cover.
+        self.shipper.attach(transport, from_seq=replica.received_seq)
+        self.replicas.append(replica)
+        return replica
+
+    def sync(self, heartbeat: bool = True) -> int:
+        """Ship unshipped log + have every replica apply it (catch-up).
+
+        Returns the number of operations applied across replicas. With
+        ``heartbeat=True`` up-to-date replicas still hear the primary,
+        keeping their staleness clocks honest through idle stretches.
+        """
+        self.shipper.ship(heartbeat=heartbeat)
+        return sum(replica.poll() for replica in self.replicas)
+
+    # ------------------------------------------------------------------
+    # Writes — always the primary
+    # ------------------------------------------------------------------
+    def ingest(self, operations: Iterable[Operation | Sequence]) -> int:
+        return self.primary.ingest(operations)
+
+    def flush(self) -> None:
+        self.primary.flush()
+
+    def checkpoint(self):
+        """Checkpoint the primary, shipping first.
+
+        A checkpoint compacts the primary's log; shipping beforehand
+        guarantees compaction can never outrun a follower's cursor and
+        strand it behind a gap.
+        """
+        self.sync(heartbeat=False)
+        return self.primary.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Reads — round-robin over replicas
+    # ------------------------------------------------------------------
+    def _next_reader(self):
+        if not self.replicas:
+            return self.primary
+        reader = self.replicas[self._reader % len(self.replicas)]
+        self._reader += 1
+        return reader
+
+    def cluster_of(self, obj_id: int) -> str | None:
+        return self._next_reader().cluster_of(obj_id)
+
+    def members(self, gcid: str) -> frozenset[int]:
+        return self._next_reader().members(gcid)
+
+    def members_of(self, obj_id: int) -> frozenset[int]:
+        """Peers of an object — id → cluster → members on ONE reader.
+
+        The safe compound query: cluster ids are reader-relative, so
+        resolving both halves against the same replica is what makes
+        the answer coherent.
+        """
+        reader = self._next_reader()
+        gcid = reader.cluster_of(obj_id)
+        return reader.members(gcid) if gcid is not None else frozenset()
+
+    def clusters(self) -> dict[str, frozenset[int]]:
+        return self._next_reader().clusters()
+
+    def partition(self) -> frozenset[frozenset[int]]:
+        return self._next_reader().partition()
+
+    def num_objects(self) -> int:
+        return self._next_reader().num_objects()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def lag(self) -> list[dict]:
+        """Per-replica lag (seq delta + staleness); see :meth:`ReadReplica.lag`."""
+        return [replica.lag() for replica in self.replicas]
+
+    def stats(self) -> dict:
+        return {
+            "primary": self.primary.stats(),
+            "shipping": self.shipper.stats(),
+            "replicas": self.lag(),
+        }
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+    def promote(self, index: int = 0) -> ClusteringService:
+        """Fail over to ``replicas[index]``: follower becomes primary.
+
+        Best-effort final sync, then the chosen (durable) replica
+        rebuilds itself through the crash-recovery path and takes over
+        writes; the old primary is closed and the remaining replicas
+        re-attach to the new primary's log — their cursors stay valid
+        because replication preserves sequence numbers exactly.
+        """
+        if not self.replicas:
+            raise ValueError("no replicas to promote")
+        chosen = self.replicas[index]
+        if chosen.service.oplog is None:
+            raise ValueError(
+                f"{chosen.name} is ephemeral (no oplog); only a durable "
+                "replica can be promoted"
+            )
+        # In a clean failover (primary still alive) drain everything
+        # committed; in a disaster the caller promotes whatever shipped.
+        self.sync(heartbeat=False)
+        self.replicas.pop(index)
+        self.shipper.detach(chosen.transport)
+        old_primary = self.primary
+        self.primary = chosen.promote()
+        old_primary.close()
+        chosen.transport.close()
+        self.shipper = LogShipper(
+            self.primary.oplog, max_segment_ops=self.max_segment_ops, clock=self.clock
+        )
+        for replica in self.replicas:
+            self.shipper.attach(replica.transport, from_seq=replica.received_seq)
+        return self.primary
+
+    def close(self) -> None:
+        self.primary.close()
+        for replica in self.replicas:
+            replica.close()
+
+    def __enter__(self) -> "ReplicatedClusteringService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,143 @@
+"""LogShipper: stream committed oplog suffixes to followers.
+
+The primary-side half of replication. The shipper keeps one cursor per
+attached transport (``shipped_seq``: the last seq that follower has
+been sent) and, on every :meth:`ship`, cuts the committed suffix
+``seq > shipped_seq`` into bounded :class:`~repro.replica.segment.LogSegment`
+chunks. Shipping is gap-refusing from the primary side too: if the log
+was compacted past a follower's cursor, the follower can never be
+caught up from the log alone, and the shipper raises
+:class:`~repro.replica.segment.ReplicationGap` instead of shipping a
+stream the follower would have to reject anyway (re-bootstrap from a
+checkpoint is the fix).
+
+Reading only committed records is free by construction: a
+:class:`~repro.stream.oplog.LogBackend` never yields past its healed
+``last_seq`` bound.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.stream.oplog import LogBackend
+
+from .segment import LogSegment, ReplicationGap
+from .transport import Transport
+
+
+@dataclass
+class _Subscription:
+    transport: Transport
+    shipped_seq: int
+    segments_shipped: int = 0
+    ops_shipped: int = 0
+
+
+class LogShipper:
+    """Fan a primary's operation log out to N follower transports.
+
+    Parameters
+    ----------
+    log:
+        The primary's operation log (any backend).
+    max_segment_ops:
+        Upper bound on operations per shipped segment, so a follower
+        that fell far behind catches up in bounded bites rather than
+        one giant message.
+    clock:
+        Wall-clock source stamped into segments (``time.time`` domain;
+        injectable for deterministic staleness tests).
+    """
+
+    def __init__(
+        self,
+        log: LogBackend,
+        *,
+        max_segment_ops: int = 512,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if max_segment_ops < 1:
+            raise ValueError("max_segment_ops must be >= 1")
+        self.log = log
+        self.max_segment_ops = max_segment_ops
+        self.clock = clock
+        self._subscriptions: list[_Subscription] = []
+
+    def attach(self, transport: Transport, from_seq: int = 0) -> None:
+        """Subscribe a follower that already holds the log up to ``from_seq``."""
+        self._subscriptions.append(_Subscription(transport, from_seq))
+
+    def detach(self, transport: Transport) -> None:
+        self._subscriptions = [
+            sub for sub in self._subscriptions if sub.transport is not transport
+        ]
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    # ------------------------------------------------------------------
+    def ship(self, heartbeat: bool = False) -> int:
+        """Publish every follower's unshipped suffix; returns segments sent.
+
+        With ``heartbeat=True`` an up-to-date follower still receives an
+        empty segment, so its staleness clock keeps moving even when the
+        primary is idle.
+        """
+        published = 0
+        primary_seq = self.log.last_seq
+        now = self.clock()
+        for sub in self._subscriptions:
+            chunk: list = []
+            shipped_any = False
+            for operation in self.log.iter_from(sub.shipped_seq):
+                if operation.seq != sub.shipped_seq + len(chunk) + 1:
+                    raise ReplicationGap(
+                        f"log compacted past follower: it has seq "
+                        f"{sub.shipped_seq}, oldest shippable is "
+                        f"{operation.seq}; re-bootstrap it from a checkpoint"
+                    )
+                chunk.append(operation)
+                if len(chunk) == self.max_segment_ops:
+                    published += self._publish_chunk(sub, chunk, primary_seq, now)
+                    shipped_any = True
+                    chunk = []
+            if chunk:
+                published += self._publish_chunk(sub, chunk, primary_seq, now)
+                shipped_any = True
+            if not shipped_any and heartbeat:
+                sub.transport.publish(
+                    LogSegment.heartbeat(sub.shipped_seq, primary_seq, now)
+                )
+                published += 1
+        return published
+
+    def _publish_chunk(
+        self, sub: _Subscription, chunk: list, primary_seq: int, now: float
+    ) -> int:
+        segment = LogSegment(
+            first_seq=chunk[0].seq,
+            last_seq=chunk[-1].seq,
+            operations=tuple(chunk),
+            primary_seq=primary_seq,
+            shipped_at=now,
+        )
+        sub.transport.publish(segment)
+        sub.shipped_seq = segment.last_seq
+        sub.segments_shipped += 1
+        sub.ops_shipped += len(segment)
+        return 1
+
+    def stats(self) -> list[dict]:
+        """Per-follower shipping counters (telemetry)."""
+        return [
+            {
+                "shipped_seq": sub.shipped_seq,
+                "segments_shipped": sub.segments_shipped,
+                "ops_shipped": sub.ops_shipped,
+                "behind": max(0, self.log.last_seq - sub.shipped_seq),
+            }
+            for sub in self._subscriptions
+        ]

@@ -1,0 +1,99 @@
+"""Segment transports: how shipped log slices reach a follower.
+
+A transport is one ordered primary→follower channel with at-least-once
+delivery; the follower's gap/duplicate handling makes consumption
+exactly-once. Two implementations:
+
+* :class:`InProcessTransport` — a deque, for replicas living in the
+  primary's process (the common read-scaling deployment here);
+* :class:`MailboxTransport` — a spool directory of one-file-per-segment
+  JSON, atomically published (temp + rename), so a follower in another
+  process — or on another machine via a shared/synced filesystem — can
+  tail the primary with no network stack at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from collections import deque
+
+from .segment import LogSegment
+
+
+class Transport:
+    """One primary→follower segment channel."""
+
+    def publish(self, segment: LogSegment) -> None:
+        """Make a segment available to the follower (primary side)."""
+        raise NotImplementedError
+
+    def poll(self) -> list[LogSegment]:
+        """Drain everything published since the last poll, in order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport resources (default: nothing held)."""
+
+
+class InProcessTransport(Transport):
+    """Same-process channel: an unbounded FIFO of segments."""
+
+    def __init__(self) -> None:
+        self._queue: deque[LogSegment] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def publish(self, segment: LogSegment) -> None:
+        self._queue.append(segment)
+
+    def poll(self) -> list[LogSegment]:
+        drained = list(self._queue)
+        self._queue.clear()
+        return drained
+
+
+class MailboxTransport(Transport):
+    """Filesystem spool: one atomically-renamed JSON file per segment.
+
+    File names embed the zero-padded seq range, so a plain sorted
+    directory listing recovers publish order; heartbeats (``last <
+    first``) sort before a data segment starting at the same seq and
+    overwrite older heartbeats at the same position instead of piling
+    up. ``poll`` consumes: each file is deleted once read.
+    """
+
+    def __init__(self, directory) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _name_for(self, segment: LogSegment) -> str:
+        return f"segment-{segment.first_seq:012d}-{max(segment.last_seq, 0):012d}.json"
+
+    def publish(self, segment: LogSegment) -> None:
+        path = self.directory / self._name_for(segment)
+        temp = path.with_suffix(".json.tmp")
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(segment.to_dict(), handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+
+    def pending(self) -> list[pathlib.Path]:
+        return sorted(self.directory.glob("segment-*.json"))
+
+    def poll(self) -> list[LogSegment]:
+        segments = []
+        for path in self.pending():
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    segments.append(LogSegment.from_dict(json.load(handle)))
+            except (json.JSONDecodeError, OSError):
+                # A publisher died mid-write before the rename, or the
+                # file vanished under us; rename-atomicity means a
+                # readable file is always complete, so skip quietly.
+                continue
+            path.unlink()
+        return segments

@@ -6,9 +6,11 @@ snapshot covers. Crash recovery = load the latest checkpoint + replay
 the oplog suffix (``seq > checkpoint.applied_seq``) — the two-file
 recipe that lets the log be compacted without losing rebuildability.
 
-Files are ``checkpoint-<applied_seq>.json``, written atomically
-(temp + rename) so a crash mid-checkpoint can never corrupt the latest
-good snapshot; older files beyond ``keep`` are pruned.
+Like the operation log, the storage contract is factored out
+(:class:`CheckpointStore`) with two implementations: the original
+one-JSON-file-per-snapshot :class:`CheckpointManager` here and the
+sqlite-backed :class:`~repro.stream.sqlite_backend.SqliteCheckpointStore`,
+selected by :func:`open_checkpoints`.
 """
 
 from __future__ import annotations
@@ -30,7 +32,38 @@ def fsync_directory(directory) -> None:
         os.close(fd)
 
 
-class CheckpointManager:
+class CheckpointStore:
+    """Storage contract for numbered, atomic state snapshots.
+
+    Snapshots are keyed by ``state['applied_seq']``; ``load_latest``
+    must skip unreadable snapshots in favour of older ones, and writes
+    must be atomic — a crash mid-save can never corrupt the latest
+    good snapshot.
+    """
+
+    keep: int
+
+    def save(self, state: dict) -> pathlib.Path:
+        """Durably store a snapshot; returns its backing path."""
+        raise NotImplementedError
+
+    def load_latest(self) -> dict | None:
+        """The newest readable snapshot, or ``None`` when fresh."""
+        raise NotImplementedError
+
+    def list_seqs(self) -> list[int]:
+        """Applied-seq of every stored checkpoint, ascending."""
+        raise NotImplementedError
+
+    def prune(self) -> None:
+        """Drop all but the newest ``keep`` checkpoints."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backing resources (default: nothing held open)."""
+
+
+class CheckpointManager(CheckpointStore):
     """Atomic, numbered JSON checkpoints in one directory."""
 
     def __init__(self, directory, keep: int = 3) -> None:
@@ -45,7 +78,6 @@ class CheckpointManager:
         return self.directory / f"checkpoint-{applied_seq}.json"
 
     def list_seqs(self) -> list[int]:
-        """Applied-seq of every stored checkpoint, ascending."""
         seqs = []
         for entry in self.directory.iterdir():
             match = _NAME.match(entry.name)
@@ -87,10 +119,32 @@ class CheckpointManager:
         return None
 
     def prune(self) -> None:
-        """Drop all but the newest ``keep`` checkpoints."""
         seqs = self.list_seqs()
         for applied_seq in seqs[: -self.keep]:
             try:
                 self._path_for(applied_seq).unlink()
             except OSError:
                 pass
+
+
+CHECKPOINT_BACKENDS = ("json", "sqlite")
+
+
+def open_checkpoints(directory, backend: str = "json", keep: int = 3) -> CheckpointStore:
+    """Open a checkpoint store with the named storage backend.
+
+    ``directory`` is the snapshot home for every backend — the sqlite
+    store keeps one ``checkpoints.sqlite`` database inside it, so a
+    service can switch backends without reshuffling its state layout.
+    """
+    if backend == "json":
+        return CheckpointManager(directory, keep=keep)
+    if backend == "sqlite":
+        from .sqlite_backend import SqliteCheckpointStore
+
+        return SqliteCheckpointStore(
+            pathlib.Path(directory) / "checkpoints.sqlite", keep=keep
+        )
+    raise ValueError(
+        f"unknown checkpoint backend {backend!r}; choose from {CHECKPOINT_BACKENDS}"
+    )

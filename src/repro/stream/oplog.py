@@ -2,18 +2,26 @@
 
 Following the log-first architecture of streaming engines (GnitzDB's
 "hard state = operation log, everything else is soft state"), every
-ingested operation is appended here as one JSON line *before* it is
+ingested operation is appended here as one record *before* it is
 applied anywhere. All derived state — clusterings, similarity graphs,
 trained models — can be rebuilt by replaying the log, or restored from
 a checkpoint plus the log suffix.
 
-Durability/robustness properties:
+The log is the replication seam too: anything that can read the log
+can serve reads, so the storage contract is factored out as
+:class:`LogBackend` with two implementations — the original JSONL
+:class:`OperationLog` here and the sqlite-backed
+:class:`~repro.stream.sqlite_backend.SqliteOperationLog` — selected by
+:func:`open_log`.
+
+Durability/robustness properties every backend provides:
 
 * sequence numbers are assigned by the log, monotonically from 1;
-* a crash mid-append leaves at most one torn final line, which replay
-  and re-open both ignore (the WAL tail rule);
-* :meth:`compact` atomically drops the prefix a checkpoint already
-  covers (write-temp + rename).
+* a crash mid-append leaves at most one torn final record, which
+  re-open heals away (the WAL tail rule) and :meth:`LogBackend.iter_from`
+  never yields past;
+* :meth:`LogBackend.compact` atomically drops the prefix a checkpoint
+  already covers.
 """
 
 from __future__ import annotations
@@ -21,12 +29,74 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 from .events import Operation
 
 
-class OperationLog:
+class LogBackend:
+    """Storage contract for a seq-addressed, append-only operation log.
+
+    Implementations own one durable medium (a JSONL file, a sqlite
+    database, …) and guarantee the healed-tail invariant: after
+    construction ``last_seq`` names the last durably readable record,
+    and readers never observe anything beyond it.
+    """
+
+    #: Sequence number of the last durable record (0 when empty).
+    last_seq: int
+
+    def append(self, operations: Sequence[Operation]) -> list[Operation]:
+        """Assign sequence numbers and durably append; returns stamped ops.
+
+        All-or-nothing: encoding failures leave ``last_seq`` untouched,
+        so a rejected batch cannot burn sequence numbers — a burned seq
+        would read as a log gap at recovery time.
+        """
+        raise NotImplementedError
+
+    def append_stamped(self, operations: Sequence[Operation]) -> int:
+        """Append operations that already carry sequence numbers.
+
+        The replication path: a follower persists shipped records
+        verbatim so its log is byte-equivalent in content to the
+        primary's. Gap-refusing — every record must continue exactly at
+        ``last_seq + 1`` or the whole batch is rejected (``ValueError``)
+        before anything is written. Returns the number appended.
+        """
+        raise NotImplementedError
+
+    def iter_from(self, after_seq: int = 0) -> Iterator[Operation]:
+        """Yield logged operations with ``seq > after_seq``, in order.
+
+        Shares the healed-tail bound: records beyond ``last_seq`` as of
+        the call (torn tails, concurrent writers) are never yielded.
+        """
+        raise NotImplementedError
+
+    def replay(self, after_seq: int = 0) -> Iterator[Operation]:
+        """Alias of :meth:`iter_from` (the recovery-path name)."""
+        return self.iter_from(after_seq)
+
+    def compact(self, upto_seq: int) -> int:
+        """Drop all entries with ``seq <= upto_seq``; returns kept count."""
+        raise NotImplementedError
+
+    def size_bytes(self) -> int:
+        """Current on-disk footprint of the log (telemetry)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "LogBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class OperationLog(LogBackend):
     """Append-only JSONL WAL of :class:`~repro.stream.events.Operation`.
 
     Parameters
@@ -70,14 +140,15 @@ class OperationLog:
         return last_seq
 
     # ------------------------------------------------------------------
-    def append(self, operations: Sequence[Operation]) -> list[Operation]:
-        """Assign sequence numbers and durably append; returns stamped ops.
+    def _write_lines(self, lines: list[str]) -> None:
+        if not lines:
+            return
+        self._handle.write("\n".join(lines) + "\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
 
-        All-or-nothing: encoding failures (e.g. an unencodable payload)
-        leave ``last_seq`` untouched, so a rejected batch cannot burn
-        sequence numbers — a burned seq would read as a log gap at
-        recovery time.
-        """
+    def append(self, operations: Sequence[Operation]) -> list[Operation]:
         stamped = []
         lines = []
         seq = self.last_seq
@@ -86,16 +157,29 @@ class OperationLog:
             stamped_op = operation.with_seq(seq)
             stamped.append(stamped_op)
             lines.append(json.dumps(stamped_op.to_dict()))
-        if lines:
-            self._handle.write("\n".join(lines) + "\n")
-            self._handle.flush()
-            if self.fsync:
-                os.fsync(self._handle.fileno())
+        self._write_lines(lines)
         self.last_seq = seq
         return stamped
 
-    def replay(self, after_seq: int = 0) -> Iterator[Operation]:
-        """Yield logged operations with ``seq > after_seq``, in order."""
+    def append_stamped(self, operations: Sequence[Operation]) -> int:
+        lines = []
+        seq = self.last_seq
+        for operation in operations:
+            if operation.seq != seq + 1:
+                raise ValueError(
+                    f"stamped append breaks contiguity: expected seq "
+                    f"{seq + 1}, got {operation.seq}"
+                )
+            seq = operation.seq
+            lines.append(json.dumps(operation.to_dict()))
+        self._write_lines(lines)
+        self.last_seq = seq
+        return len(lines)
+
+    def iter_from(self, after_seq: int = 0) -> Iterator[Operation]:
+        # Captured once: appends racing this scan (or a torn tail a
+        # crashed co-writer left) must not leak past the healed bound.
+        bound = self.last_seq
         if not self.path.exists():
             return
         with open(self.path, "r", encoding="utf-8") as handle:
@@ -110,6 +194,8 @@ class OperationLog:
                     # it is unreadable garbage by definition.
                     break
                 operation = Operation.from_dict(data)
+                if operation.seq > bound:
+                    break
                 if operation.seq > after_seq:
                     yield operation
 
@@ -119,7 +205,7 @@ class OperationLog:
         Safe against crashes: the suffix is written to a temp file which
         is atomically renamed over the log.
         """
-        kept = list(self.replay(after_seq=upto_seq))
+        kept = list(self.iter_from(after_seq=upto_seq))
         temp = self.path.with_suffix(self.path.suffix + ".compact")
         # Write the suffix before touching the live handle: a failure
         # here (disk full, fsync error) leaves the log fully usable.
@@ -140,6 +226,14 @@ class OperationLog:
             self._handle = open(self.path, "a", encoding="utf-8")
         return len(kept)
 
+    def size_bytes(self) -> int:
+        if not self._handle.closed:
+            self._handle.flush()
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
+
     def close(self) -> None:
         if not self._handle.closed:
             self._handle.close()
@@ -147,5 +241,16 @@ class OperationLog:
     def __enter__(self) -> "OperationLog":
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+
+LOG_BACKENDS = ("jsonl", "sqlite")
+
+
+def open_log(path, backend: str = "jsonl", fsync: bool = False) -> LogBackend:
+    """Open an operation log with the named storage backend."""
+    if backend == "jsonl":
+        return OperationLog(path, fsync=fsync)
+    if backend == "sqlite":
+        from .sqlite_backend import SqliteOperationLog
+
+        return SqliteOperationLog(path, fsync=fsync)
+    raise ValueError(f"unknown log backend {backend!r}; choose from {LOG_BACKENDS}")

@@ -20,9 +20,10 @@ Architecture (log-first, GnitzDB-style):
    uninterrupted run. Global cluster *ids* are re-minted on restore —
    hold on to object ids, not cluster ids, across a crash.
 
-The service is synchronous and single-process — the subsystem every
-following scaling step (async ingest, replication, multi-backend
-storage) builds on.
+The service is synchronous and single-process; storage is pluggable
+(JSONL or sqlite log/checkpoint backends via :class:`StreamConfig`),
+and :mod:`repro.replica` builds primary/replica read scaling on top of
+the log. Async ingest is the remaining scaling seam.
 """
 
 from __future__ import annotations
@@ -32,10 +33,10 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from .batching import MicroBatcher, RoundOps
-from .checkpoint import CheckpointManager
+from .checkpoint import CHECKPOINT_BACKENDS, open_checkpoints
 from .events import FLUSH, Operation
 from .metrics import MetricsRegistry
-from .oplog import OperationLog
+from .oplog import LOG_BACKENDS, open_log
 from .router import HashRouter, MembershipTable, global_cluster_id, parse_cluster_id
 from .shard import EngineFactory, StreamShard
 
@@ -63,6 +64,12 @@ class StreamConfig:
         (no durability, no recovery).
     checkpoint_dir:
         Checkpoint directory; ``None`` disables checkpointing.
+    log_backend:
+        Operation-log storage: ``"jsonl"`` (one JSON line per record)
+        or ``"sqlite"``. Interchangeable at the Operation level.
+    checkpoint_backend:
+        Snapshot storage: ``"json"`` (one file per snapshot) or
+        ``"sqlite"`` (one database inside ``checkpoint_dir``).
     fsync:
         fsync the oplog on every append (power-loss durability).
     keep_checkpoints:
@@ -77,6 +84,8 @@ class StreamConfig:
     train_rounds: int = 3
     oplog_path: Any = None
     checkpoint_dir: Any = None
+    log_backend: str = "jsonl"
+    checkpoint_backend: str = "json"
     fsync: bool = False
     keep_checkpoints: int = 3
     compact_on_checkpoint: bool = True
@@ -86,6 +95,29 @@ class StreamConfig:
             raise ValueError("n_shards must be >= 1")
         if self.train_rounds < 1:
             raise ValueError("train_rounds must be >= 1")
+        if self.log_backend not in LOG_BACKENDS:
+            raise ValueError(
+                f"log_backend must be one of {LOG_BACKENDS}, got {self.log_backend!r}"
+            )
+        if self.checkpoint_backend not in CHECKPOINT_BACKENDS:
+            raise ValueError(
+                f"checkpoint_backend must be one of {CHECKPOINT_BACKENDS}, "
+                f"got {self.checkpoint_backend!r}"
+            )
+
+    def round_cut_params(self) -> dict[str, int]:
+        """The parameters replay determinism depends on.
+
+        Two services (a primary and a follower, a crashed run and its
+        recovery) reproduce identical rounds from the same log iff
+        these agree; storage backends and fsync policy are free to
+        differ.
+        """
+        return {
+            "n_shards": self.n_shards,
+            "batch_max_ops": self.batch_max_ops,
+            "train_rounds": self.train_rounds,
+        }
 
 
 class ClusteringService:
@@ -116,12 +148,20 @@ class ClusteringService:
             max_ops=self.config.batch_max_ops, max_age=self.config.batch_max_age
         )
         self.oplog = (
-            OperationLog(self.config.oplog_path, fsync=self.config.fsync)
+            open_log(
+                self.config.oplog_path,
+                backend=self.config.log_backend,
+                fsync=self.config.fsync,
+            )
             if self.config.oplog_path is not None
             else None
         )
         self.checkpoints = (
-            CheckpointManager(self.config.checkpoint_dir, keep=self.config.keep_checkpoints)
+            open_checkpoints(
+                self.config.checkpoint_dir,
+                backend=self.config.checkpoint_backend,
+                keep=self.config.keep_checkpoints,
+            )
             if self.config.checkpoint_dir is not None
             else None
         )
@@ -205,6 +245,7 @@ class ClusteringService:
                 self.membership.add(obj_id, shard_index)
             for obj_id in round_ops.removed:
                 self.membership.discard(obj_id)
+            shard.last_applied_seq = slice_ops[-1].seq
         self.applied_seq = batch[-1].seq
         self.metrics.batches_applied += 1
         self.metrics.batch_latency.record(time.perf_counter() - start)
@@ -253,14 +294,55 @@ class ClusteringService:
             pending_ops=len(self.batcher),
             num_objects=len(self.membership),
             num_clusters=sum(shard.num_clusters() for shard in self.shards),
+            oplog_bytes=self.oplog.size_bytes() if self.oplog is not None else 0,
         )
         for shard, shard_stats in zip(self.shards, snapshot["shards"]):
             shard_stats.update(
                 objects=shard.num_objects(),
                 clusters=shard.num_clusters(),
                 trained=shard.trained,
+                last_applied_seq=shard.last_applied_seq,
             )
         return snapshot
+
+    def apply_logged(
+        self, operations: Iterable[Operation], *, expect_after: int | None = None
+    ) -> int | None:
+        """Apply already-stamped (logged or shipped) operations.
+
+        The shared tail of the recovery and replication paths: rounds
+        are cut by count and logged flush markers only — wall-clock
+        age cuts are suspended, because the arrival clock of a replay
+        or a follower must never invent boundaries the primary's log
+        doesn't record.
+
+        When ``expect_after`` is given, sequence numbers must run
+        contiguously from it (gap-refusing; a jump means the source log
+        was compacted past this point). Returns the last seq seen, or
+        ``expect_after``/``None`` when ``operations`` is empty.
+        """
+        last_seen = expect_after
+        saved_max_age = self.batcher.max_age
+        self.batcher.max_age = None
+        try:
+            for operation in operations:
+                if last_seen is not None and operation.seq != last_seen + 1:
+                    raise RuntimeError(
+                        f"oplog gap: expected seq {last_seen + 1}, found "
+                        f"{operation.seq}; the log no longer covers this point"
+                    )
+                last_seen = operation.seq
+                if operation.kind == FLUSH:
+                    batch = self.batcher.drain()
+                    if batch:
+                        self._apply_batch(batch)
+                else:
+                    self.metrics.events_ingested += 1
+                    self.batcher.add(operation)
+                    self._apply_ready()
+        finally:
+            self.batcher.max_age = saved_max_age
+        return last_seen
 
     # ------------------------------------------------------------------
     # Durability
@@ -295,23 +377,27 @@ class ClusteringService:
 
     @classmethod
     def recover(
-        cls, engine_factory: EngineFactory, config: StreamConfig
+        cls,
+        engine_factory: EngineFactory,
+        config: StreamConfig,
+        *,
+        snapshot: dict | None = None,
     ) -> "ClusteringService":
         """Rebuild a service after a crash: latest checkpoint + log replay.
 
         Works from any durable subset — with no checkpoint the whole log
         is replayed from scratch; with no log the checkpoint alone is
         restored (losing only operations logged after it, which without
-        an oplog were never durable anyway).
+        an oplog were never durable anyway). A replication bootstrap can
+        hand the snapshot in directly via ``snapshot`` (e.g. one shipped
+        from a primary) instead of reading the local checkpoint store.
         """
         service = cls(engine_factory, config)
-        state = service.checkpoints.load_latest() if service.checkpoints else None
+        state = snapshot
+        if state is None and service.checkpoints is not None:
+            state = service.checkpoints.load_latest()
         if state is not None:
-            for field_name, want in (
-                ("n_shards", config.n_shards),
-                ("batch_max_ops", config.batch_max_ops),
-                ("train_rounds", config.train_rounds),
-            ):
+            for field_name, want in config.round_cut_params().items():
                 # Older checkpoints may predate a field; only a recorded
                 # mismatch is definitely divergence-inducing.
                 have = state.get(field_name)
@@ -338,39 +424,18 @@ class ClusteringService:
                     service.oplog.last_seq, service.applied_seq
                 )
         if service.oplog is not None:
-            # Replay cuts rounds by count and logged markers only — the
-            # live run's age-triggered cuts are in the log as markers,
-            # and replay-time arrival clocks must not add new ones.
-            service.batcher.max_age = None
-            try:
-                expected_seq = service.applied_seq
-                for operation in service.oplog.replay(after_seq=service.applied_seq):
-                    if operation.seq != expected_seq + 1:
-                        # Sequence numbers are contiguous by construction,
-                        # so a jump means the log was compacted past this
-                        # checkpoint — refusing beats silently losing ops.
-                        raise RuntimeError(
-                            f"oplog gap: expected seq {expected_seq + 1}, "
-                            f"found {operation.seq}; the log no longer "
-                            "covers this checkpoint"
-                        )
-                    expected_seq = operation.seq
-                    if operation.kind == FLUSH:
-                        batch = service.batcher.drain()
-                        if batch:
-                            service._apply_batch(batch)
-                    else:
-                        service.metrics.events_ingested += 1
-                        service.batcher.add(operation)
-                        service._apply_ready()
-            finally:
-                service.batcher.max_age = config.batch_max_age
+            service.apply_logged(
+                service.oplog.replay(after_seq=service.applied_seq),
+                expect_after=service.applied_seq,
+            )
         service.metrics.recoveries += 1
         return service
 
     def close(self) -> None:
         if self.oplog is not None:
             self.oplog.close()
+        if self.checkpoints is not None:
+            self.checkpoints.close()
 
     def __enter__(self) -> "ClusteringService":
         return self

@@ -32,6 +32,9 @@ class StreamShard:
         self.train_rounds = train_rounds
         self.rounds_seen = 0
         self.trained = False
+        #: Highest oplog seq in any round routed to this shard (set by
+        #: the service on apply; feeds ``stats()`` and replica ``lag()``).
+        self.last_applied_seq = 0
 
     # ------------------------------------------------------------------
     def apply(self, ops: RoundOps) -> tuple[str, float, RoundStats | None]:
@@ -104,6 +107,7 @@ class StreamShard:
             "index": self.index,
             "rounds_seen": self.rounds_seen,
             "trained": self.trained,
+            "last_applied_seq": self.last_applied_seq,
             "payloads": [
                 [obj_id, encode_payload(self.engine.graph.payload(obj_id))]
                 for obj_id in self.engine.graph.object_ids()
@@ -119,6 +123,8 @@ class StreamShard:
         shard = cls(int(state["index"]), engine_factory, train_rounds)
         shard.rounds_seen = int(state["rounds_seen"])
         shard.trained = bool(state["trained"])
+        # Absent in pre-replication checkpoints.
+        shard.last_applied_seq = int(state.get("last_applied_seq", 0))
         graph = shard.engine.graph
         for obj_id, payload in state["payloads"]:
             graph.add_object(int(obj_id), decode_payload(payload))

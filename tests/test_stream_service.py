@@ -153,6 +153,44 @@ class TestServiceBasics:
         with pytest.raises(ValueError):
             StreamConfig(train_rounds=0)
 
+    def test_stats_report_oplog_size_and_per_shard_seq(
+        self, access_dataset, access_events, tmp_path
+    ):
+        """The replication-facing gauges: oplog bytes on disk and the
+        last applied seq per shard (what a replica's lag() reads)."""
+        factory = make_factory(access_dataset)
+        config = durable_config(tmp_path)
+        service = ClusteringService(factory, config)
+        service.ingest(access_events[:100])
+        service.flush()
+        stats = service.stats()
+        assert stats["oplog_bytes"] > 0
+        assert stats["oplog_bytes"] == service.oplog.size_bytes()
+        per_shard = [s["last_applied_seq"] for s in stats["shards"]]
+        assert all(seq > 0 for seq in per_shard)
+        # The last-filled shard saw the batch's final op; nobody saw more.
+        assert max(per_shard) == stats["applied_seq"]
+        service.close()
+
+        # The gauges survive checkpoint + recovery.
+        service = ClusteringService(factory, durable_config(tmp_path / "b"))
+        service.ingest(access_events[:100])
+        service.flush()
+        service.checkpoint()
+        service.close()
+        recovered = ClusteringService.recover(factory, durable_config(tmp_path / "b"))
+        assert [
+            s["last_applied_seq"] for s in recovered.stats()["shards"]
+        ] == per_shard
+        recovered.close()
+
+        # Ephemeral services report zero bytes rather than failing.
+        ephemeral = ClusteringService(
+            factory, StreamConfig(n_shards=2, batch_max_ops=40, train_rounds=2)
+        )
+        ephemeral.ingest(access_events[:50])
+        assert ephemeral.stats()["oplog_bytes"] == 0
+
 
 class TestCrashRecovery:
     def test_checkpoint_plus_replay_equals_uninterrupted(
