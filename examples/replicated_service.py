@@ -3,8 +3,10 @@
 A durable primary ingests a dynamic workload in bursts while two read
 replicas (one in-memory, one durable with sqlite storage) tail its
 shipped operation log. Along the way: explicit lag before/after each
-catch-up, membership equality after catch-up, and a follower→primary
-failover that keeps serving:
+catch-up, membership equality after catch-up, a follower→primary
+failover that keeps serving, and — after the log has been compacted —
+a brand-new mailbox follower that joins from a shipped snapshot with
+no access to the primary's state directories:
 
     python examples/replicated_service.py
 """
@@ -16,7 +18,7 @@ from repro.clustering.objectives import DBIndexObjective
 from repro.core import DynamicC
 from repro.data.generators import generate_access
 from repro.data.workload import OperationMix, build_workload
-from repro.replica import ReplicatedClusteringService
+from repro.replica import MailboxTransport, ReadReplica, ReplicatedClusteringService
 from repro.stream import StreamConfig
 
 # ---------------------------------------------------------------------------
@@ -106,4 +108,42 @@ print(
     f"{len(promoted.clusters())} clusters, replica lag "
     f"{service.lag()[0]['seq_delta']} — membership equal on both nodes"
 )
+
+# ---------------------------------------------------------------------------
+# 4. Compaction, then a late joiner: truncate the log through the newest
+#    snapshot, and have a brand-new follower join anyway — the shipper
+#    heals the missing prefix by shipping the checkpoint itself, so the
+#    follower needs only the spool directory (never the primary's
+#    checkpoint or oplog paths).
+# ---------------------------------------------------------------------------
+service.checkpoint()
+report = service.compact()
+print(
+    f"compaction: log truncated through seq {report['truncated_through']}, "
+    f"{report['reclaimed_bytes']} bytes reclaimed, {report['log_bytes']} left"
+)
+
+spool = state_dir / "spool"
+service.shipper.attach(MailboxTransport(spool), from_seq=0)  # knows nothing yet
+service.shipper.ship()  # gap at seq 0 → snapshot + suffix into the spool
+joiner = ReadReplica(
+    factory,
+    StreamConfig(  # the joiner's own two directories, nothing shared
+        n_shards=2,
+        batch_max_ops=48,
+        train_rounds=2,
+        oplog_path=state_dir / "joiner" / "oplog.jsonl",
+        checkpoint_dir=state_dir / "joiner" / "checkpoints",
+    ),
+    MailboxTransport(spool),
+    name="late-joiner",
+)
+joiner.poll()
+assert joiner.partition() == promoted.partition()
+print(
+    f"late joiner: bootstrapped from {joiner.snapshots_applied} shipped "
+    f"snapshot to seq {joiner.received_seq}, lag {joiner.lag()['seq_delta']} "
+    "— partition equal to the primary, via the spool alone"
+)
+joiner.close()
 service.close()

@@ -4,21 +4,29 @@ Builds on :mod:`repro.stream`'s log-first design: the operation log is
 the only hard state, so *anything that can read the log can serve
 reads*. This package turns that property into a primary/replica system:
 
-* :mod:`repro.replica.segment` — :class:`LogSegment`, the contiguous,
-  self-validating unit of shipping (+ :class:`ReplicationGap`);
-* :mod:`repro.replica.transport` — segment channels: in-process queue
-  and filesystem mailbox (cross-process, no network stack);
+* :mod:`repro.replica.segment` — the shipping artifacts:
+  :class:`LogSegment` (contiguous, self-validating log slice) and
+  :class:`SnapshotArtifact` (a whole checkpoint over the wire), plus
+  :class:`ReplicationGap`;
+* :mod:`repro.replica.transport` — artifact channels: in-process queue
+  and filesystem mailbox (cross-process, no network stack, torn files
+  quarantined);
 * :mod:`repro.replica.shipper` — :class:`LogShipper`, per-follower
-  cursors over the primary's committed log suffix;
-* :mod:`repro.replica.replica` — :class:`ReadReplica`: checkpoint
-  bootstrap, gap-refusing tailing, explicit :meth:`~ReadReplica.lag`,
-  and :meth:`~ReadReplica.promote` failover;
+  cursors over the primary's committed log suffix; compaction gaps
+  healed by shipping the newest snapshot, :meth:`~LogShipper.resync`
+  for follower-side gaps;
+* :mod:`repro.replica.replica` — :class:`ReadReplica`: transport-only
+  bootstrap/re-sync from shipped snapshots, gap-refusing tailing,
+  explicit :meth:`~ReadReplica.lag`, and :meth:`~ReadReplica.promote`
+  failover;
 * :mod:`repro.replica.service` — :class:`ReplicatedClusteringService`,
-  the one-primary/N-replica façade with round-robin read routing.
+  the one-primary/N-replica façade with round-robin read routing,
+  self-healing :meth:`~ReplicatedClusteringService.sync`, and
+  snapshot-bounded :meth:`~ReplicatedClusteringService.compact`.
 """
 
 from .replica import ReadReplica
-from .segment import LogSegment, ReplicationGap
+from .segment import LogSegment, ReplicationGap, SnapshotArtifact
 from .service import ReplicatedClusteringService
 from .shipper import LogShipper
 from .transport import InProcessTransport, MailboxTransport, Transport
@@ -31,5 +39,6 @@ __all__ = [
     "ReadReplica",
     "ReplicatedClusteringService",
     "ReplicationGap",
+    "SnapshotArtifact",
     "Transport",
 ]

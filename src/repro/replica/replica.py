@@ -1,11 +1,17 @@
 """ReadReplica: a follower that serves reads from shipped log state.
 
 A replica is "anything that can read the log": it bootstraps from the
-latest checkpoint (its own, or one handed over from the primary's
-store), then tails shipped :class:`~repro.replica.segment.LogSegment`
-batches — persisting each to its *own* operation log before applying
-it, so a durable follower is itself recoverable and, via
-:meth:`promote`, a primary-in-waiting.
+latest checkpoint — its own, one handed over in-process, or a
+:class:`~repro.replica.segment.SnapshotArtifact` polled off the
+transport — then tails shipped
+:class:`~repro.replica.segment.LogSegment` batches, persisting each to
+its *own* operation log before applying it, so a durable follower is
+itself recoverable and, via :meth:`promote`, a primary-in-waiting.
+Because snapshots arrive over the same channel as segments, a follower
+given nothing but a transport (a mailbox spool directory, say) is
+fully self-contained: it never reads the primary's checkpoint or log
+directories, and it can join a primary whose log was compacted long
+before the follower existed.
 
 Applying reuses :meth:`ClusteringService.apply_logged
 <repro.stream.service.ClusteringService.apply_logged>`, the same code
@@ -18,7 +24,10 @@ Consumption is gap-refusing and duplicate-tolerant: a segment that
 skips past ``received_seq + 1`` raises
 :class:`~repro.replica.segment.ReplicationGap` (stale-but-consistent
 beats divergent), while an already-seen segment (at-least-once
-transport redelivery) is dropped.
+transport redelivery) is dropped and a partially-overlapping one is
+sliced to its new suffix. A gap inside one :meth:`poll` is held open
+rather than raised immediately — a snapshot later in the same drain
+re-syncs past it; only a gap no polled snapshot healed escapes.
 """
 
 from __future__ import annotations
@@ -30,7 +39,7 @@ from repro.stream.checkpoint import open_checkpoints
 from repro.stream.service import ClusteringService, StreamConfig
 from repro.stream.shard import EngineFactory
 
-from .segment import LogSegment, ReplicationGap
+from .segment import LogSegment, ReplicationGap, SnapshotArtifact
 from .transport import Transport
 
 
@@ -95,6 +104,8 @@ class ReadReplica:
         self.last_heard_at: float | None = None
         self.segments_applied = 0
         self.duplicates_dropped = 0
+        self.snapshots_applied = 0
+        self.snapshots_skipped = 0
 
     @classmethod
     def bootstrap(
@@ -141,10 +152,35 @@ class ReadReplica:
     # Tailing
     # ------------------------------------------------------------------
     def poll(self) -> int:
-        """Drain the transport and apply; returns operations applied."""
+        """Drain the transport and apply; returns operations applied.
+
+        A segment that gaps past ``received_seq`` does not abort the
+        drain: the gap is held open while later artifacts are scanned,
+        because a :class:`SnapshotArtifact` further down the same batch
+        (the shipper publishes snapshot-then-suffix) re-syncs past it.
+        Only a gap that no polled snapshot healed is raised — at which
+        point the fix is a primary-side
+        :meth:`~repro.replica.shipper.LogShipper.resync`, whose
+        artifacts the *next* poll consumes.
+        """
         applied = 0
-        for segment in self.transport.poll():
-            applied += self.apply_segment(segment)
+        gap: ReplicationGap | None = None
+        for artifact in self.transport.poll():
+            if isinstance(artifact, SnapshotArtifact):
+                before = self.received_seq
+                applied += self.apply_snapshot(artifact)
+                if self.received_seq > before:
+                    gap = None  # the restore jumped us past it
+                continue
+            try:
+                applied += self.apply_segment(artifact)
+            except ReplicationGap as exc:
+                # Segments consumed while a gap is open are lost, but
+                # they were unusable anyway; resync re-ships the whole
+                # suffix after the snapshot, so nothing is skipped.
+                gap = exc
+        if gap is not None:
+            raise gap
         return applied
 
     def apply_segment(self, segment: LogSegment) -> int:
@@ -158,19 +194,82 @@ class ReadReplica:
             # At-least-once transports may redeliver; already applied.
             self.duplicates_dropped += 1
             return 0
-        if segment.first_seq != self.received_seq + 1:
+        if segment.first_seq > self.received_seq + 1:
             raise ReplicationGap(
                 f"{self.name} holds seq {self.received_seq} but was shipped "
                 f"[{segment.first_seq}, {segment.last_seq}]; refusing to "
                 "apply past a gap — re-bootstrap from a newer checkpoint"
             )
+        # A partial redelivery (e.g. a segment cut just after a snapshot
+        # restore) contributes only its unseen suffix.
+        operations = segment.operations[self.received_seq - segment.first_seq + 1 :]
         if self.service.oplog is not None:
             # Hard state first (the WAL rule), then derived state.
-            self.service.oplog.append_stamped(segment.operations)
-        self.service.apply_logged(segment.operations, expect_after=self.received_seq)
+            self.service.oplog.append_stamped(operations)
+        self.service.apply_logged(operations, expect_after=self.received_seq)
         self.received_seq = segment.last_seq
         self.segments_applied += 1
-        return len(segment)
+        return len(operations)
+
+    def apply_snapshot(self, artifact: SnapshotArtifact) -> int:
+        """Restore this replica from a shipped checkpoint snapshot.
+
+        The transport-only bootstrap/re-sync path: an artifact newer
+        than ``received_seq`` replaces all derived state (through the
+        same :meth:`ClusteringService.recover
+        <repro.stream.service.ClusteringService.recover>` path a crash
+        restart uses) and jumps the cursor to its ``applied_seq``; an
+        older or already-covered one is skipped. A durable replica
+        stores the snapshot in its *own* checkpoint store first and
+        truncates its local log through the snapshot — so a later
+        restart or :meth:`promote` works from local state alone.
+        Returns 0 (snapshots carry state, not operations).
+        """
+        self.primary_seq = max(self.primary_seq, artifact.primary_seq)
+        if self.last_heard_at is None or artifact.shipped_at > self.last_heard_at:
+            self.last_heard_at = artifact.shipped_at
+        if artifact.applied_seq <= self.received_seq:
+            self.snapshots_skipped += 1
+            return 0
+        config = self.service.config
+        if config.oplog_path is not None and config.checkpoint_dir is None:
+            raise ValueError(
+                f"{self.name}: cannot restore a shipped snapshot into a "
+                "replica with an oplog but no checkpoint_dir — its log "
+                "would restart past a prefix stored nowhere"
+            )
+        for field_name, want in config.round_cut_params().items():
+            # Validate BEFORE saving or closing anything: storing a
+            # divergent snapshot would poison the local store (every
+            # later restart reloads it and refuses), and recover()'s own
+            # check would fire only after the old service was torn down.
+            have = artifact.state.get(field_name)
+            if have is not None and int(have) != want:
+                raise ValueError(
+                    f"{self.name}: shipped snapshot has {field_name}={have}, "
+                    f"this replica's config wants {want}; refusing divergent "
+                    "round-cut parameters"
+                )
+        factory = self.service._engine_factory
+        if self.service.checkpoints is not None:
+            # Own the snapshot locally, then recover from the store —
+            # the exact restart path, so a crash right after this poll
+            # comes back to the same state.
+            self.service.checkpoints.save(dict(artifact.state))
+            self.service.close()
+            self.service = ClusteringService.recover(factory, config)
+        else:
+            self.service.close()
+            self.service = ClusteringService.recover(
+                factory, config, snapshot=artifact.state
+            )
+        if self.service.oplog is not None:
+            # The local log's pre-snapshot content is now covered (and
+            # disconnected from future appends); drop it.
+            self.service.oplog.truncate_through(artifact.applied_seq)
+        self.received_seq = artifact.applied_seq
+        self.snapshots_applied += 1
+        return 0
 
     def lag(self) -> dict:
         """How far behind the primary this replica's answers are.
@@ -216,6 +315,8 @@ class ReadReplica:
         snapshot["replica"] = self.lag()
         snapshot["segments_applied"] = self.segments_applied
         snapshot["duplicates_dropped"] = self.duplicates_dropped
+        snapshot["snapshots_applied"] = self.snapshots_applied
+        snapshot["snapshots_skipped"] = self.snapshots_skipped
         return snapshot
 
     def checkpoint(self):

@@ -1,4 +1,4 @@
-"""Log segments: the unit of oplog shipping.
+"""Shipping artifacts: log segments and checkpoint snapshots.
 
 A :class:`LogSegment` is a contiguous, committed slice of the primary's
 operation log — seq-addressed, self-validating, JSON-serialisable for
@@ -8,6 +8,15 @@ which is what lets a follower report an honest :meth:`lag
 <repro.replica.replica.ReadReplica.lag>` (seq delta + staleness)
 without a side channel. A segment with no operations is a heartbeat:
 pure lag telemetry, no log content.
+
+A :class:`SnapshotArtifact` is a whole checkpoint travelling the same
+channel — the other half of the classic snapshot + log-suffix recovery
+contract. Shipping snapshots as first-class artifacts is what lets a
+follower bootstrap (or re-sync after a
+:class:`ReplicationGap`) from the transport alone, with no access to
+the primary's checkpoint or log directories — and what makes it safe
+for the primary to truncate its log past segments a late joiner would
+otherwise still need.
 """
 
 from __future__ import annotations
@@ -110,4 +119,62 @@ class LogSegment:
             operations=(),
             primary_seq=primary_seq,
             shipped_at=shipped_at,
+        )
+
+
+@dataclass(frozen=True)
+class SnapshotArtifact:
+    """A checkpoint snapshot shipped as a transport artifact.
+
+    ``state`` is the full checkpoint payload a
+    :class:`~repro.stream.checkpoint.CheckpointStore` would hold (shard
+    states, round-cut parameters, ``applied_seq``); ``applied_seq`` is
+    lifted out as the artifact's address — the seq position a follower
+    restoring it jumps to, and the point log segments must continue
+    from. Like a segment, it carries ``primary_seq`` and ``shipped_at``
+    so even a pure bootstrap advances the follower's lag clocks.
+    """
+
+    state: dict
+    applied_seq: int
+    #: The primary's last committed seq when this snapshot was shipped.
+    primary_seq: int
+    #: Wall-clock ship time (``time.time()`` domain) on the primary.
+    shipped_at: float
+
+    def __post_init__(self) -> None:
+        recorded = int(self.state["applied_seq"])
+        if recorded != self.applied_seq:
+            raise ValueError(
+                f"snapshot artifact at seq {self.applied_seq} disagrees with "
+                f"its state's applied_seq {recorded}"
+            )
+
+    @classmethod
+    def from_state(
+        cls, state: dict, *, primary_seq: int, shipped_at: float
+    ) -> "SnapshotArtifact":
+        return cls(
+            state=state,
+            applied_seq=int(state["applied_seq"]),
+            primary_seq=primary_seq,
+            shipped_at=shipped_at,
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "applied_seq": self.applied_seq,
+            "primary_seq": self.primary_seq,
+            "shipped_at": self.shipped_at,
+            "state": self.state,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SnapshotArtifact":
+        return cls(
+            state=data["state"],
+            applied_seq=int(data["applied_seq"]),
+            primary_seq=int(data["primary_seq"]),
+            shipped_at=float(data["shipped_at"]),
         )

@@ -6,7 +6,10 @@ The deployment façade for read-heavy traffic: writes (``ingest`` /
 across the attached :class:`~repro.replica.replica.ReadReplica`
 followers (falling back to the primary while none are attached). A
 :class:`~repro.replica.shipper.LogShipper` fans the primary's oplog
-out to every follower; :meth:`sync` is the catch-up heartbeat, and
+out to every follower — snapshots included, so compaction-stranded or
+gap-refusing followers are re-seeded over the transport; :meth:`sync`
+is the catch-up heartbeat (with in-place gap healing), :meth:`compact`
+truncates the log through the newest shipped snapshot, and
 :meth:`promote` is follower→primary failover.
 
 Reads are eventually consistent with explicit, queryable staleness
@@ -27,6 +30,7 @@ from repro.stream.service import ClusteringService, StreamConfig
 from repro.stream.shard import EngineFactory
 
 from .replica import ReadReplica
+from .segment import ReplicationGap
 from .shipper import LogShipper
 from .transport import InProcessTransport, Transport
 
@@ -66,11 +70,23 @@ class ReplicatedClusteringService:
         self.clock = clock
         self.max_segment_ops = max_segment_ops
         self.primary = ClusteringService(engine_factory, config)
-        self.shipper = LogShipper(
-            self.primary.oplog, max_segment_ops=max_segment_ops, clock=clock
-        )
+        self.shipper = self._build_shipper()
         self.replicas: list[ReadReplica] = []
         self._reader = 0
+
+    def _build_shipper(self) -> LogShipper:
+        return LogShipper(
+            self.primary.oplog,
+            snapshots=self._latest_snapshot,
+            max_segment_ops=self.max_segment_ops,
+            clock=self.clock,
+        )
+
+    def _latest_snapshot(self) -> dict | None:
+        """The shipper's snapshot source: the primary's newest checkpoint."""
+        if self.primary.checkpoints is None:
+            return None
+        return self.primary.checkpoints.load_latest()
 
     # ------------------------------------------------------------------
     # Topology
@@ -104,6 +120,17 @@ class ReplicatedClusteringService:
                 f"{config.round_cut_params()} diverge from the primary's "
                 f"{self.primary.config.round_cut_params()}"
             )
+        elif config.oplog_path is not None and config.checkpoint_dir is None:
+            # Refused up front, not just when a snapshot happens to
+            # exist at bootstrap: sync()'s gap healing ships snapshots,
+            # and a log-only follower cannot accept one (its log would
+            # restart past a prefix stored nowhere) — it would wedge
+            # behind the first gap forever.
+            raise ValueError(
+                f"replica {name!r} refused: a durable (oplog) follower "
+                "also needs its own checkpoint_dir, or snapshot "
+                "shipping/re-sync can never seed it"
+            )
         snapshot = (
             self.primary.checkpoints.load_latest()
             if self.primary.checkpoints is not None
@@ -128,9 +155,23 @@ class ReplicatedClusteringService:
         Returns the number of operations applied across replicas. With
         ``heartbeat=True`` up-to-date replicas still hear the primary,
         keeping their staleness clocks honest through idle stretches.
+
+        A replica that reports a :class:`ReplicationGap` (its transport
+        lost artifacts, or it restarted from state older than its
+        shipping cursor) is healed in place: the shipper re-seeds it
+        with the newest snapshot and re-ships the suffix. Only when no
+        snapshot exists does the gap propagate.
         """
         self.shipper.ship(heartbeat=heartbeat)
-        return sum(replica.poll() for replica in self.replicas)
+        applied = 0
+        for replica in self.replicas:
+            try:
+                applied += replica.poll()
+            except ReplicationGap:
+                self.shipper.resync(replica.transport)
+                self.shipper.ship(heartbeat=False)
+                applied += replica.poll()
+        return applied
 
     # ------------------------------------------------------------------
     # Writes — always the primary
@@ -150,6 +191,50 @@ class ReplicatedClusteringService:
         """
         self.sync(heartbeat=False)
         return self.primary.checkpoint()
+
+    def compact(self) -> dict:
+        """Truncate the primary's log as far as every safety floor allows.
+
+        The explicit compaction lever (pair it with
+        ``compact_on_checkpoint=False`` to own retention manually). The
+        truncation point is the minimum of three floors, each protecting
+        a recovery path: the newest *shipped* snapshot (a late joiner's
+        bootstrap root — never truncate what hasn't been snapshotted),
+        the oldest *retained* checkpoint (the fallback root recovery
+        uses when a newer snapshot turns out corrupt — ``keep_checkpoints``
+        retains it precisely so the log from its seq forward stays
+        replayable), and every attached follower's shipping cursor
+        (which the preceding ship brings to the head anyway). Late
+        joiners are not stranded: a post-compaction ``attach(from_seq=0)``
+        is healed by the shipper publishing the snapshot itself. Returns
+        the :meth:`~repro.stream.oplog.LogBackend.truncate_through`
+        report (kept ops, reclaimed bytes).
+        """
+        if self.primary.checkpoints is None:
+            raise RuntimeError("compaction requires a primary checkpoint_dir")
+        # load_latest is the *readability* gate for a destructive op: a
+        # listed-but-corrupt snapshot must not authorise truncation (its
+        # seq is not a recovery root). The bound itself never needs the
+        # newest seq — the oldest retained is always lower.
+        if self.primary.checkpoints.load_latest() is None:
+            # No readable snapshot → nothing may be truncated. The
+            # service cannot have truncated before its first checkpoint,
+            # so last_seq IS the kept count — no log scan, and no
+            # truncate_through(0) rewriting the whole file to drop
+            # zero records.
+            log = self.primary.oplog
+            return {
+                "truncated_through": 0,
+                "kept_ops": log.last_seq,
+                "reclaimed_bytes": 0,
+                "log_bytes": log.size_bytes(),
+            }
+        self.sync(heartbeat=False)  # ship the prefix before dropping it
+        bound = min(
+            self.primary.checkpoints.list_seqs()[:1]  # oldest retained
+            + self.shipper.cursors()
+        )
+        return self.primary.oplog.truncate_through(bound)
 
     # ------------------------------------------------------------------
     # Reads — round-robin over replicas
@@ -230,9 +315,7 @@ class ReplicatedClusteringService:
         self.primary = chosen.promote()
         old_primary.close()
         chosen.transport.close()
-        self.shipper = LogShipper(
-            self.primary.oplog, max_segment_ops=self.max_segment_ops, clock=self.clock
-        )
+        self.shipper = self._build_shipper()
         for replica in self.replicas:
             self.shipper.attach(replica.transport, from_seq=replica.received_seq)
         return self.primary

@@ -1,15 +1,25 @@
-"""LogShipper: stream committed oplog suffixes to followers.
+"""LogShipper: stream committed oplog suffixes — and snapshots — to followers.
 
 The primary-side half of replication. The shipper keeps one cursor per
 attached transport (``shipped_seq``: the last seq that follower has
 been sent) and, on every :meth:`ship`, cuts the committed suffix
 ``seq > shipped_seq`` into bounded :class:`~repro.replica.segment.LogSegment`
-chunks. Shipping is gap-refusing from the primary side too: if the log
-was compacted past a follower's cursor, the follower can never be
-caught up from the log alone, and the shipper raises
+chunks.
+
+Compaction changes the contract: when the log has been truncated past a
+follower's cursor, the follower can never be caught up from the log
+alone. Given a snapshot source (``snapshots=``, typically the primary's
+``checkpoints.load_latest``), the shipper heals the gap itself — it
+publishes the newest checkpoint as a
+:class:`~repro.replica.segment.SnapshotArtifact`, advances the cursor
+to the snapshot's ``applied_seq``, and resumes segment shipping from
+there, so a brand-new follower (``from_seq=0``) can join a long-running,
+compacted primary over the transport alone. Without a snapshot source
+(or with one too old to help) it raises
 :class:`~repro.replica.segment.ReplicationGap` instead of shipping a
-stream the follower would have to reject anyway (re-bootstrap from a
-checkpoint is the fix).
+stream the follower would have to reject anyway. :meth:`resync` is the
+explicit form, for a follower that reported a gap on *its* side (lost
+spool files, a restart from older local state).
 
 Reading only committed records is free by construction: a
 :class:`~repro.stream.oplog.LogBackend` never yields past its healed
@@ -24,7 +34,7 @@ from typing import Callable
 
 from repro.stream.oplog import LogBackend
 
-from .segment import LogSegment, ReplicationGap
+from .segment import LogSegment, ReplicationGap, SnapshotArtifact
 from .transport import Transport
 
 
@@ -34,6 +44,7 @@ class _Subscription:
     shipped_seq: int
     segments_shipped: int = 0
     ops_shipped: int = 0
+    snapshots_shipped: int = 0
 
 
 class LogShipper:
@@ -43,12 +54,18 @@ class LogShipper:
     ----------
     log:
         The primary's operation log (any backend).
+    snapshots:
+        Zero-argument callable returning the primary's newest checkpoint
+        state (or ``None``) — e.g. ``checkpoints.load_latest``. Enables
+        snapshot shipping: compaction gaps are healed by publishing the
+        snapshot instead of raising. ``None`` keeps the strict
+        segments-only behaviour.
     max_segment_ops:
         Upper bound on operations per shipped segment, so a follower
         that fell far behind catches up in bounded bites rather than
         one giant message.
     clock:
-        Wall-clock source stamped into segments (``time.time`` domain;
+        Wall-clock source stamped into artifacts (``time.time`` domain;
         injectable for deterministic staleness tests).
     """
 
@@ -56,12 +73,14 @@ class LogShipper:
         self,
         log: LogBackend,
         *,
+        snapshots: Callable[[], dict | None] | None = None,
         max_segment_ops: int = 512,
         clock: Callable[[], float] = time.time,
     ) -> None:
         if max_segment_ops < 1:
             raise ValueError("max_segment_ops must be >= 1")
         self.log = log
+        self.snapshots = snapshots
         self.max_segment_ops = max_segment_ops
         self.clock = clock
         self._subscriptions: list[_Subscription] = []
@@ -78,9 +97,13 @@ class LogShipper:
     def __len__(self) -> int:
         return len(self._subscriptions)
 
+    def cursors(self) -> list[int]:
+        """Every follower's ``shipped_seq`` (the compaction floor)."""
+        return [sub.shipped_seq for sub in self._subscriptions]
+
     # ------------------------------------------------------------------
     def ship(self, heartbeat: bool = False) -> int:
-        """Publish every follower's unshipped suffix; returns segments sent.
+        """Publish every follower's unshipped suffix; returns artifacts sent.
 
         With ``heartbeat=True`` an up-to-date follower still receives an
         empty segment, so its staleness clock keeps moving even when the
@@ -90,28 +113,49 @@ class LogShipper:
         primary_seq = self.log.last_seq
         now = self.clock()
         for sub in self._subscriptions:
+            published += self._ship_subscription(sub, primary_seq, now, heartbeat)
+        return published
+
+    def _ship_subscription(
+        self, sub: _Subscription, primary_seq: int, now: float, heartbeat: bool
+    ) -> int:
+        published = 0
+        healed_once = False
+        while True:
             chunk: list = []
-            shipped_any = False
+            gap_at: int | None = None
             for operation in self.log.iter_from(sub.shipped_seq):
                 if operation.seq != sub.shipped_seq + len(chunk) + 1:
-                    raise ReplicationGap(
-                        f"log compacted past follower: it has seq "
-                        f"{sub.shipped_seq}, oldest shippable is "
-                        f"{operation.seq}; re-bootstrap it from a checkpoint"
-                    )
+                    gap_at = operation.seq
+                    break
                 chunk.append(operation)
                 if len(chunk) == self.max_segment_ops:
                     published += self._publish_chunk(sub, chunk, primary_seq, now)
-                    shipped_any = True
                     chunk = []
             if chunk:
                 published += self._publish_chunk(sub, chunk, primary_seq, now)
-                shipped_any = True
-            if not shipped_any and heartbeat:
-                sub.transport.publish(
-                    LogSegment.heartbeat(sub.shipped_seq, primary_seq, now)
-                )
-                published += 1
+            if gap_at is None and sub.shipped_seq < self.log.last_seq:
+                # The log stopped yielding short of its own last_seq: the
+                # remaining range was truncated away entirely (an empty
+                # retained suffix). Without this check a follower behind
+                # a fully-compacted log would be silently stranded —
+                # nothing iterates, so the in-loop gap test never fires.
+                gap_at = self.log.last_seq + 1
+            if gap_at is not None:
+                if healed_once:
+                    raise ReplicationGap(
+                        f"log still gaps at seq {gap_at} after a snapshot "
+                        f"re-sync; it is damaged beyond what shipping can heal"
+                    )
+                published += self._publish_snapshot(sub, gap_at, now)
+                healed_once = True
+                continue  # re-walk the log from the snapshot's position
+            break
+        if published == 0 and heartbeat:
+            sub.transport.publish(
+                LogSegment.heartbeat(sub.shipped_seq, primary_seq, now)
+            )
+            published += 1
         return published
 
     def _publish_chunk(
@@ -130,6 +174,64 @@ class LogShipper:
         sub.ops_shipped += len(segment)
         return 1
 
+    def _publish_snapshot(
+        self, sub: _Subscription, oldest_shippable: int, now: float
+    ) -> int:
+        """Heal a compaction gap by shipping the newest snapshot.
+
+        The snapshot must actually bridge: new enough that the retained
+        log connects to it (``applied_seq >= oldest_shippable - 1``) and
+        ahead of the follower's cursor (or nothing was gained).
+        """
+        state = self.snapshots() if self.snapshots is not None else None
+        if state is not None:
+            applied_seq = int(state["applied_seq"])
+            if applied_seq > sub.shipped_seq and applied_seq >= oldest_shippable - 1:
+                sub.transport.publish(
+                    SnapshotArtifact.from_state(
+                        state, primary_seq=self.log.last_seq, shipped_at=now
+                    )
+                )
+                sub.shipped_seq = applied_seq
+                sub.snapshots_shipped += 1
+                return 1
+        raise ReplicationGap(
+            f"log compacted past follower: it has seq {sub.shipped_seq}, "
+            f"oldest shippable is {oldest_shippable}, and no snapshot "
+            f"{'source is attached' if self.snapshots is None else 'bridges the gap'}"
+            "; re-bootstrap it from a checkpoint"
+        )
+
+    def resync(self, transport: Transport) -> int:
+        """Re-seed one follower with the newest snapshot; returns its seq.
+
+        The recovery move for a *follower-side* gap (it lost spool
+        files, or restarted from state older than its cursor): publish
+        the newest checkpoint and pull the cursor back to the snapshot's
+        ``applied_seq``, so the next :meth:`ship` re-sends the whole
+        suffix after it. Raises :class:`ReplicationGap` when no snapshot
+        is available — an honest "this follower cannot be saved yet"
+        (checkpoint the primary first).
+        """
+        for sub in self._subscriptions:
+            if sub.transport is transport:
+                break
+        else:
+            raise ValueError("transport is not attached to this shipper")
+        state = self.snapshots() if self.snapshots is not None else None
+        if state is None:
+            raise ReplicationGap(
+                "re-sync requested but no snapshot is available; "
+                "checkpoint the primary, then retry"
+            )
+        artifact = SnapshotArtifact.from_state(
+            state, primary_seq=self.log.last_seq, shipped_at=self.clock()
+        )
+        sub.transport.publish(artifact)
+        sub.shipped_seq = artifact.applied_seq
+        sub.snapshots_shipped += 1
+        return artifact.applied_seq
+
     def stats(self) -> list[dict]:
         """Per-follower shipping counters (telemetry)."""
         return [
@@ -137,6 +239,7 @@ class LogShipper:
                 "shipped_seq": sub.shipped_seq,
                 "segments_shipped": sub.segments_shipped,
                 "ops_shipped": sub.ops_shipped,
+                "snapshots_shipped": sub.snapshots_shipped,
                 "behind": max(0, self.log.last_seq - sub.shipped_seq),
             }
             for sub in self._subscriptions

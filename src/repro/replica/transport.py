@@ -1,12 +1,14 @@
-"""Segment transports: how shipped log slices reach a follower.
+"""Artifact transports: how shipped log slices and snapshots reach a follower.
 
 A transport is one ordered primary→follower channel with at-least-once
 delivery; the follower's gap/duplicate handling makes consumption
-exactly-once. Two implementations:
+exactly-once. It carries two artifact kinds — :class:`LogSegment` and
+:class:`SnapshotArtifact` — so a follower can be bootstrapped and
+re-synced over the channel alone. Two implementations:
 
 * :class:`InProcessTransport` — a deque, for replicas living in the
   primary's process (the common read-scaling deployment here);
-* :class:`MailboxTransport` — a spool directory of one-file-per-segment
+* :class:`MailboxTransport` — a spool directory of one-file-per-artifact
   JSON, atomically published (temp + rename), so a follower in another
   process — or on another machine via a shared/synced filesystem — can
   tail the primary with no network stack at all.
@@ -17,19 +19,25 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import re
 from collections import deque
 
-from .segment import LogSegment
+from repro.stream.checkpoint import fsync_directory
+
+from .segment import LogSegment, SnapshotArtifact
+
+_SEGMENT_FILE = re.compile(r"^segment-(\d+)-(\d+)\.json$")
+_SNAPSHOT_FILE = re.compile(r"^snapshot-(\d+)\.json$")
 
 
 class Transport:
-    """One primary→follower segment channel."""
+    """One primary→follower artifact channel."""
 
-    def publish(self, segment: LogSegment) -> None:
-        """Make a segment available to the follower (primary side)."""
+    def publish(self, artifact) -> None:
+        """Make a segment or snapshot available to the follower (primary side)."""
         raise NotImplementedError
 
-    def poll(self) -> list[LogSegment]:
+    def poll(self) -> list:
         """Drain everything published since the last poll, in order."""
         raise NotImplementedError
 
@@ -38,62 +46,132 @@ class Transport:
 
 
 class InProcessTransport(Transport):
-    """Same-process channel: an unbounded FIFO of segments."""
+    """Same-process channel: an unbounded FIFO of artifacts."""
 
     def __init__(self) -> None:
-        self._queue: deque[LogSegment] = deque()
+        self._queue: deque = deque()
 
     def __len__(self) -> int:
         return len(self._queue)
 
-    def publish(self, segment: LogSegment) -> None:
-        self._queue.append(segment)
+    def publish(self, artifact) -> None:
+        self._queue.append(artifact)
 
-    def poll(self) -> list[LogSegment]:
+    def poll(self) -> list:
         drained = list(self._queue)
         self._queue.clear()
         return drained
 
 
-class MailboxTransport(Transport):
-    """Filesystem spool: one atomically-renamed JSON file per segment.
+def _spool_key(path: pathlib.Path) -> tuple:
+    """Numeric consumption order for a spool file.
 
-    File names embed the zero-padded seq range, so a plain sorted
-    directory listing recovers publish order; heartbeats (``last <
-    first``) sort before a data segment starting at the same seq and
-    overwrite older heartbeats at the same position instead of piling
-    up. ``poll`` consumes: each file is deleted once read.
+    Parsed from the name, never the directory listing or mtime: zero
+    padding keeps *pretty* listings sorted, but files outlive the
+    padding width (a 13-digit seq vs a 12-digit one compares wrong
+    lexicographically) and same-second publishes collide on mtime, so
+    the only trustworthy order is the numbers themselves. A snapshot at
+    seq S sorts before a segment starting at S: restoring the snapshot
+    first lets the segment's suffix apply on top.
+    """
+    match = _SEGMENT_FILE.match(path.name)
+    if match:
+        return (int(match.group(1)), 1, int(match.group(2)))
+    match = _SNAPSHOT_FILE.match(path.name)
+    if match:
+        seq = int(match.group(1))
+        return (seq, 0, seq)
+    return (float("inf"), 2, 0)  # unrecognised; globs should preclude this
+
+
+class MailboxTransport(Transport):
+    """Filesystem spool: one atomically-renamed JSON file per artifact.
+
+    File names embed the zero-padded seq range (``segment-first-last``)
+    or snapshot position (``snapshot-appliedseq``); consumption order is
+    recovered by *parsing* those numbers — see :func:`_spool_key`.
+    Heartbeats (``last < first``) sort before a data segment starting at
+    the same seq and overwrite older heartbeats at the same position
+    instead of piling up. ``poll`` consumes: each file is deleted once
+    read. A file that fails to decode (rename-atomicity means a crash
+    can't produce one — this is media damage or a non-atomic copy) is
+    quarantined aside as ``*.quarantined`` rather than re-read forever
+    or treated as fatal.
     """
 
     def __init__(self, directory) -> None:
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: Undecodable files set aside by this instance (telemetry).
+        self.quarantined = 0
 
-    def _name_for(self, segment: LogSegment) -> str:
-        return f"segment-{segment.first_seq:012d}-{max(segment.last_seq, 0):012d}.json"
+    def _name_for(self, artifact) -> str:
+        if isinstance(artifact, SnapshotArtifact):
+            return f"snapshot-{artifact.applied_seq:012d}.json"
+        return (
+            f"segment-{artifact.first_seq:012d}-"
+            f"{max(artifact.last_seq, 0):012d}.json"
+        )
 
-    def publish(self, segment: LogSegment) -> None:
-        path = self.directory / self._name_for(segment)
-        temp = path.with_suffix(".json.tmp")
+    def publish(self, artifact) -> None:
+        path = self.directory / self._name_for(artifact)
+        temp = path.with_name(path.name + ".tmp")
         with open(temp, "w", encoding="utf-8") as handle:
-            json.dump(segment.to_dict(), handle)
+            json.dump(artifact.to_dict(), handle)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temp, path)
+        # The dirent must survive power loss too: the shipper advances
+        # its cursor (and compaction may drop the log prefix) on the
+        # strength of this publish having happened.
+        fsync_directory(self.directory)
 
     def pending(self) -> list[pathlib.Path]:
-        return sorted(self.directory.glob("segment-*.json"))
+        paths = list(self.directory.glob("segment-*.json"))
+        paths.extend(self.directory.glob("snapshot-*.json"))
+        return sorted(paths, key=_spool_key)
 
-    def poll(self) -> list[LogSegment]:
-        segments = []
+    def _quarantine(self, path: pathlib.Path) -> None:
+        try:
+            path.rename(path.with_name(path.name + ".quarantined"))
+        except OSError:
+            return  # vanished under us; nothing left to set aside
+        self.quarantined += 1
+
+    def poll(self) -> list:
+        artifacts = []
         for path in self.pending():
+            loader = (
+                SnapshotArtifact if _SNAPSHOT_FILE.match(path.name) else LogSegment
+            )
             try:
                 with open(path, "r", encoding="utf-8") as handle:
-                    segments.append(LogSegment.from_dict(json.load(handle)))
-            except (json.JSONDecodeError, OSError):
-                # A publisher died mid-write before the rename, or the
-                # file vanished under us; rename-atomicity means a
-                # readable file is always complete, so skip quietly.
+                    data = json.load(handle)
+                artifact = loader.from_dict(data)
+            except OSError:
+                # Transient I/O (fd pressure, a lock on a synced spool,
+                # the file vanished): nothing proves the file is bad, so
+                # leave it pending and retry on a later poll — and stop
+                # the drain here. Consuming later files past a skipped
+                # one would deliver out of order and delete segments the
+                # follower must refuse, turning a retryable blip into a
+                # forced snapshot re-sync.
+                break
+            except (ValueError, KeyError, TypeError):
+                # Provenly damaged content (ValueError covers JSON and
+                # unicode decode errors, the rest are malformed
+                # artifact dicts). Quarantine instead of deleting
+                # (evidence survives) and instead of skipping in place
+                # (which would re-parse it on every poll forever).
+                self._quarantine(path)
                 continue
-            path.unlink()
-        return segments
+            artifacts.append(artifact)
+            try:
+                path.unlink()
+            except OSError:
+                # Delivered but not consumed (a lock, or the file taken
+                # from under us). Leaving it is safe — redelivery is
+                # duplicate-tolerant on the follower — whereas raising
+                # here would throw away everything drained so far.
+                pass
+        return artifacts

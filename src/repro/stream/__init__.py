@@ -5,7 +5,8 @@ a serveable system:
 
 * :mod:`repro.stream.events` — Add/Remove/Update operations + payload codec;
 * :mod:`repro.stream.oplog` — the :class:`LogBackend` storage contract and
-  the append-only JSONL WAL (the only hard state);
+  the append-only JSONL WAL (the only hard state), with
+  ``truncate_through`` compaction + reclaimed-bytes accounting;
 * :mod:`repro.stream.sqlite_backend` — sqlite implementations of the log
   and checkpoint contracts (same Operation-level semantics);
 * :mod:`repro.stream.batching` — micro-batcher folding events into rounds;

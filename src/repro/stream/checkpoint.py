@@ -55,6 +55,17 @@ class CheckpointStore:
         """Applied-seq of every stored checkpoint, ascending."""
         raise NotImplementedError
 
+    def latest_seq(self) -> int | None:
+        """Applied-seq of the newest stored checkpoint, ``None`` when fresh.
+
+        A cheap position probe for compaction/shipping coordination —
+        unlike :meth:`load_latest` it does not read (or validate) the
+        snapshot body, so the newest *listed* seq may still turn out
+        unreadable when actually loaded.
+        """
+        seqs = self.list_seqs()
+        return seqs[-1] if seqs else None
+
     def prune(self) -> None:
         """Drop all but the newest ``keep`` checkpoints."""
         raise NotImplementedError

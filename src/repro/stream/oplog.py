@@ -82,6 +82,34 @@ class LogBackend:
         """Drop all entries with ``seq <= upto_seq``; returns kept count."""
         raise NotImplementedError
 
+    #: Cumulative bytes reclaimed by :meth:`truncate_through` over this
+    #: object's lifetime (the ``oplog_reclaimed_bytes`` gauge).
+    bytes_reclaimed: int = 0
+
+    def truncate_through(self, seq: int) -> dict:
+        """Compact away ``seq <=`` the given seq and report the footprint.
+
+        The coordination-facing face of :meth:`compact`: callers that
+        truncate (a service compacting up to its last shipped snapshot,
+        a replica dropping log it re-based onto a restored snapshot)
+        get back what the truncation actually bought — kept operations,
+        bytes reclaimed, the resulting log size — and the reclaimed
+        total accumulates in :attr:`bytes_reclaimed` for ``stats()``.
+        Truncation never moves ``last_seq``: the upper bound of the log
+        is durable history, only the prefix is dropped.
+        """
+        before = self.size_bytes()
+        kept = self.compact(seq)
+        after = self.size_bytes()
+        reclaimed = max(0, before - after)
+        self.bytes_reclaimed += reclaimed
+        return {
+            "truncated_through": seq,
+            "kept_ops": kept,
+            "reclaimed_bytes": reclaimed,
+            "log_bytes": after,
+        }
+
     def size_bytes(self) -> int:
         """Current on-disk footprint of the log (telemetry)."""
         raise NotImplementedError

@@ -295,6 +295,9 @@ class ClusteringService:
             num_objects=len(self.membership),
             num_clusters=sum(shard.num_clusters() for shard in self.shards),
             oplog_bytes=self.oplog.size_bytes() if self.oplog is not None else 0,
+            oplog_reclaimed_bytes=(
+                self.oplog.bytes_reclaimed if self.oplog is not None else 0
+            ),
         )
         for shard, shard_stats in zip(self.shards, snapshot["shards"]):
             shard_stats.update(
@@ -371,7 +374,9 @@ class ClusteringService:
             # Compact only past the *oldest retained* snapshot, not the
             # newest: falling back to an older checkpoint (e.g. when the
             # newest is corrupt) needs the log from that seq forward.
-            self.oplog.compact(min(self.checkpoints.list_seqs()))
+            # truncate_through (vs bare compact) accrues the
+            # reclaimed-bytes gauge stats() reports.
+            self.oplog.truncate_through(min(self.checkpoints.list_seqs()))
         self.metrics.checkpoints_taken += 1
         return path
 

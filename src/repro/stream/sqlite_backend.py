@@ -126,13 +126,19 @@ class SqliteOperationLog(LogBackend):
 
     def compact(self, upto_seq: int) -> int:
         self._conn.execute("BEGIN")
-        self._conn.execute("DELETE FROM oplog WHERE seq <= ?", (upto_seq,))
+        dropped = self._conn.execute(
+            "DELETE FROM oplog WHERE seq <= ?", (upto_seq,)
+        ).rowcount
         self._conn.execute("COMMIT")
-        # Reclaim the pages too — the JSONL backend rewrites its file on
-        # compact, and the whole point of compact_on_checkpoint is a
-        # bounded on-disk footprint (size_bytes feeds oplog_bytes
-        # telemetry, which must not sit at the high-water mark forever).
-        self._conn.execute("VACUUM")
+        if dropped:
+            # Reclaim the pages too — the JSONL backend rewrites its
+            # file on compact, and the whole point of compaction is a
+            # bounded on-disk footprint (size_bytes feeds oplog_bytes /
+            # reclaimed-bytes telemetry, which must not sit at the
+            # high-water mark forever). A no-op delete skips the VACUUM:
+            # rewriting the whole database to drop zero rows would make
+            # every steady-state checkpoint O(log size).
+            self._conn.execute("VACUUM")
         return self._conn.execute("SELECT COUNT(*) FROM oplog").fetchone()[0]
 
     def size_bytes(self) -> int:

@@ -1,0 +1,220 @@
+"""Fault-injection tests: sweep a crash through every durability boundary.
+
+Each scenario is run once uninjected to enumerate its crash points
+(`FaultInjector` dry run), then re-run crashing before each point in
+turn, asserting the published/stored state is never partially visible
+— the systematic version of the ad-hoc "kill it mid-write" tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from faultinject import FaultInjector, InjectedCrash, sample_crash_points, tear_file
+from repro.replica import LogSegment, MailboxTransport, SnapshotArtifact
+from repro.stream import add, open_checkpoints
+from repro.stream.oplog import OperationLog
+
+
+def snapshot_artifact(applied_seq=7):
+    state = {"applied_seq": applied_seq, "n_shards": 1, "shards": ["stub"]}
+    return SnapshotArtifact.from_state(state, primary_seq=9, shipped_at=1.0)
+
+
+def segment(first=1, n=3):
+    ops = tuple(add(100 + i, f"p{i}").with_seq(first + i) for i in range(n))
+    return LogSegment(first, first + n - 1, ops, primary_seq=first + n - 1, shipped_at=1.0)
+
+
+def crash_point_count(scenario) -> int:
+    """Dry-run a scenario callable against a fresh env; returns op count."""
+    with FaultInjector() as injector:
+        scenario()
+    return len(injector)
+
+
+class TestPublishAtomicity:
+    @pytest.mark.parametrize("make_artifact", [snapshot_artifact, segment])
+    def test_crash_at_every_publish_point_leaves_nothing_visible(
+        self, tmp_path, make_artifact
+    ):
+        artifact = make_artifact()
+        total = crash_point_count(
+            lambda: MailboxTransport(tmp_path / "dry").publish(artifact)
+        )
+        assert total >= 3  # temp fsync, rename, directory fsync
+        for crash_at in range(1, total + 1):
+            spool = tmp_path / f"crash-{crash_at}"
+            transport = MailboxTransport(spool)
+            with pytest.raises(InjectedCrash):
+                with FaultInjector(crash_at=crash_at):
+                    transport.publish(artifact)
+            # All-or-nothing: before the rename nothing is visible;
+            # after it the complete artifact is — a *partial* artifact
+            # is never pollable at any crash point.
+            reader = MailboxTransport(spool)
+            assert reader.poll() in ([], [artifact])
+            assert reader.quarantined == 0
+            # The "restarted publisher" retries and the artifact arrives
+            # complete — leftover temp files don't get in the way.
+            MailboxTransport(spool).publish(artifact)
+            assert MailboxTransport(spool).poll() == [artifact]
+
+    def test_publish_trace_is_deterministic(self, tmp_path):
+        traces = []
+        for run in range(2):
+            with FaultInjector() as injector:
+                MailboxTransport(tmp_path / f"run-{run}").publish(segment())
+            traces.append([kind for kind, _ in injector.trace])
+        assert traces[0] == traces[1]
+
+    def test_torn_mailbox_file_is_quarantined_not_fatal(self, tmp_path):
+        spool = tmp_path / "mail"
+        publisher = MailboxTransport(spool)
+        good = segment(first=1)
+        damaged = segment(first=4)
+        publisher.publish(good)
+        publisher.publish(damaged)
+        (torn_path,) = [
+            p for p in publisher.pending() if "000000000004" in p.name
+        ]
+        assert tear_file(torn_path, seed=7) > 0
+
+        consumer = MailboxTransport(spool)
+        assert consumer.poll() == [good]  # the damage is not fatal…
+        assert consumer.quarantined == 1  # …and is set aside, with evidence:
+        assert list(spool.glob("*.quarantined"))
+        # A quarantined file is not re-read forever.
+        assert consumer.poll() == []
+        assert consumer.quarantined == 1
+
+    def test_transient_read_errors_stop_the_drain_without_quarantining(
+        self, tmp_path
+    ):
+        """Only proven damage is quarantined; an OSError on read (fd
+        pressure, a lock on a synced spool) must leave the file pending
+        for a later poll — and must stop the drain there, so later
+        artifacts are neither delivered out of order nor deleted."""
+        spool = tmp_path / "mail"
+        publisher = MailboxTransport(spool)
+        good = segment(first=1)
+        behind = segment(first=11, n=2)
+        publisher.publish(good)
+        publisher.publish(behind)
+        # A directory wearing a segment file's name: open() raises
+        # IsADirectoryError (an OSError) even for root, unlike chmod.
+        (spool / "segment-000000000009-000000000009.json").mkdir()
+        consumer = MailboxTransport(spool)
+        assert consumer.poll() == [good]  # stops at the unreadable file
+        assert consumer.quarantined == 0
+        assert [p.name for p in consumer.pending()] == [
+            "segment-000000000009-000000000009.json",
+            "segment-000000000011-000000000012.json",
+        ]
+        # Once the blip clears, the stream resumes in order.
+        (spool / "segment-000000000009-000000000009.json").rmdir()
+        assert consumer.poll() == [behind]
+
+    def test_unlink_failure_does_not_lose_delivered_artifacts(
+        self, tmp_path, monkeypatch
+    ):
+        """An OSError on consume-time unlink must not discard the drain:
+        the artifact is delivered, the file stays, and the next poll's
+        redelivery is dropped by the follower's duplicate handling."""
+        import pathlib
+
+        spool = tmp_path / "mail"
+        good = segment(first=1)
+        MailboxTransport(spool).publish(good)
+        consumer = MailboxTransport(spool)
+        with monkeypatch.context() as patched:
+            patched.setattr(
+                pathlib.Path,
+                "unlink",
+                lambda self, *a, **k: (_ for _ in ()).throw(OSError("locked")),
+            )
+            assert consumer.poll() == [good]
+        # The blip cleared: the leftover file is redelivered, then gone.
+        assert consumer.poll() == [good]
+        assert consumer.poll() == []
+
+    def test_tear_file_is_deterministic(self, tmp_path):
+        kept = []
+        for run in range(2):
+            path = tmp_path / f"victim-{run}"
+            path.write_bytes(b"x" * 100)
+            kept.append(tear_file(path, seed=13))
+        assert kept[0] == kept[1] and 0 < kept[0] < 100
+
+
+class TestCheckpointSaveAtomicity:
+    def test_crash_at_every_save_point_keeps_a_loadable_store(self, tmp_path):
+        old_state = {"applied_seq": 5, "shards": ["old"]}
+        new_state = {"applied_seq": 9, "shards": ["new"]}
+        total = crash_point_count(
+            lambda: open_checkpoints(tmp_path / "dry").save(dict(new_state))
+        )
+        assert total >= 3  # file fsync, rename, directory fsync
+        for crash_at in range(1, total + 1):
+            directory = tmp_path / f"crash-{crash_at}"
+            store = open_checkpoints(directory)
+            store.save(dict(old_state))
+            with pytest.raises(InjectedCrash):
+                with FaultInjector(crash_at=crash_at):
+                    store.save(dict(new_state))
+            # Whatever the crash point: the newest *readable* snapshot
+            # is exactly the old or the new one, never garbage.
+            recovered = open_checkpoints(directory).load_latest()
+            assert recovered in (old_state, new_state)
+            # The restarted process saves again and the new state wins.
+            open_checkpoints(directory).save(dict(new_state))
+            assert open_checkpoints(directory).load_latest() == new_state
+
+
+class TestLogTruncateAtomicity:
+    N_OPS = 20
+    TRUNCATE_THROUGH = 10
+
+    def _build_log(self, path) -> OperationLog:
+        log = OperationLog(path)
+        log.append([add(i, f"p{i}") for i in range(self.N_OPS)])
+        return log
+
+    def test_crash_at_every_truncate_point_leaves_log_usable(self, tmp_path):
+        def dry():
+            log = self._build_log(tmp_path / "dry.jsonl")
+            log.truncate_through(self.TRUNCATE_THROUGH)
+            log.close()
+
+        total = crash_point_count(dry)
+        assert total >= 3  # suffix fsync, rename, directory fsync
+        for crash_at in range(1, total + 1):
+            path = tmp_path / f"crash-{crash_at}.jsonl"
+            log = self._build_log(path)
+            with pytest.raises(InjectedCrash):
+                with FaultInjector(crash_at=crash_at):
+                    log.truncate_through(self.TRUNCATE_THROUGH)
+            log.close()
+            # The "restarted process" reopens whichever file survived:
+            # the full log or the truncated suffix — contiguous either
+            # way, with the tail position intact and appends working.
+            reopened = OperationLog(path)
+            seqs = [op.seq for op in reopened.iter_from(0)]
+            assert seqs in (
+                list(range(1, self.N_OPS + 1)),
+                list(range(self.TRUNCATE_THROUGH + 1, self.N_OPS + 1)),
+            )
+            assert reopened.last_seq == self.N_OPS
+            (appended,) = reopened.append([add(999, "post-crash")])
+            assert appended.seq == self.N_OPS + 1
+            reopened.close()
+
+
+class TestHarness:
+    def test_sample_crash_points_is_seeded_and_bounded(self):
+        first = sample_crash_points(50, 10, seed=3)
+        assert first == sample_crash_points(50, 10, seed=3)
+        assert first != sample_crash_points(50, 10, seed=4)
+        assert len(first) == 10 and all(1 <= p <= 50 for p in first)
+        assert sample_crash_points(3, 10, seed=0) == [1, 2, 3]
+        assert sample_crash_points(0, 5, seed=0) == []

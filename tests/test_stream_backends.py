@@ -183,6 +183,133 @@ class TestLogBackendContract:
             open_log(tmp_path / "x", backend="parquet")
 
 
+class TestTruncateThroughBoundaries:
+    """`truncate_through(T)`: iter_from, shipping catch-up, and crash
+    recovery behave correctly at exactly T, one before, and one after —
+    on both backends. These are the seams compaction can silently
+    corrupt: one seq of slop either way is divergence, not staleness."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_iter_from_around_the_truncation_seq(self, tmp_path, backend):
+        with open_log(log_path(tmp_path, backend), backend=backend) as log:
+            log.append(sample_ops(40))
+            report = log.truncate_through(20)
+            assert report["truncated_through"] == 20
+            assert report["kept_ops"] == 20
+            assert report["log_bytes"] == log.size_bytes()
+            assert log.bytes_reclaimed == report["reclaimed_bytes"]
+            if backend == "jsonl":
+                # Bytes come back immediately; sqlite pages may round.
+                assert report["reclaimed_bytes"] > 0
+            # Truncation drops history, never the tail position.
+            assert log.last_seq == 40
+            # At exactly T: the full surviving suffix. One after: one
+            # fewer. One before: the dropped record does NOT reappear —
+            # the stream starts at 21 and the *caller's* gap check owns
+            # refusing it.
+            assert [op.seq for op in log.iter_from(20)] == list(range(21, 41))
+            assert [op.seq for op in log.iter_from(21)] == list(range(22, 41))
+            assert next(iter(log.iter_from(19))).seq == 21
+            # The reclaimed gauge accumulates across truncations.
+            second = log.truncate_through(30)
+            assert (
+                log.bytes_reclaimed
+                == report["reclaimed_bytes"] + second["reclaimed_bytes"]
+            )
+            assert [op.seq for op in log.iter_from(30)] == list(range(31, 41))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_replica_catchup_around_the_truncation_seq(self, tmp_path, backend):
+        from repro.replica import (
+            InProcessTransport,
+            LogShipper,
+            ReplicationGap,
+            SnapshotArtifact,
+        )
+
+        with open_log(log_path(tmp_path, backend), backend=backend) as log:
+            log.append(sample_ops(40))
+            log.truncate_through(20)
+            # A follower holding exactly T (or past it) catches up from
+            # segments alone…
+            shipper = LogShipper(log, max_segment_ops=64)
+            at_boundary, past_boundary = InProcessTransport(), InProcessTransport()
+            shipper.attach(at_boundary, from_seq=20)
+            shipper.attach(past_boundary, from_seq=21)
+            shipper.ship()
+            assert [(s.first_seq, s.last_seq) for s in at_boundary.poll()] == [
+                (21, 40)
+            ]
+            assert [(s.first_seq, s.last_seq) for s in past_boundary.poll()] == [
+                (22, 40)
+            ]
+            # …one before is unshippable: a hard refusal without a
+            # snapshot source, a snapshot + suffix with one.
+            strict = LogShipper(log)
+            stranded = InProcessTransport()
+            strict.attach(stranded, from_seq=19)
+            with pytest.raises(ReplicationGap, match="compacted past follower"):
+                strict.ship()
+            healing = LogShipper(log, snapshots=lambda: {"applied_seq": 20})
+            healed = InProcessTransport()
+            healing.attach(healed, from_seq=19)
+            healing.ship()
+            artifacts = healed.poll()
+            assert isinstance(artifacts[0], SnapshotArtifact)
+            assert artifacts[0].applied_seq == 20
+            assert (artifacts[1].first_seq, artifacts[-1].last_seq) == (21, 40)
+            assert healing.stats()[0]["snapshots_shipped"] == 1
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_crash_recovery_around_the_truncation_seq(self, tmp_path, backend):
+        dataset = generate_access(n_profiles=4, n_records=100, seed=5)
+        events = build_workload(
+            dataset,
+            initial_count=40,
+            n_snapshots=3,
+            mixes=OperationMix(add=0.1, remove=0.02, update=0.02),
+            seed=4,
+        ).event_stream()
+
+        def factory():
+            return DynamicC(dataset.graph(), DBIndexObjective(), seed=0)
+
+        config = StreamConfig(
+            n_shards=2,
+            batch_max_ops=16,
+            train_rounds=2,
+            oplog_path=tmp_path / "oplog",
+            checkpoint_dir=tmp_path / "checkpoints",
+            log_backend=backend,
+            checkpoint_backend="json" if backend == "jsonl" else "sqlite",
+            compact_on_checkpoint=False,  # truncations below are the test's
+        )
+        service = ClusteringService(factory, config)
+        service.ingest(events[:-6])
+        service.checkpoint()
+        boundary = service.applied_seq
+        service.ingest(events[-6:])  # logged suffix, pending past boundary
+        assert service.oplog.last_seq >= boundary + 2
+        live_partition = service.partition()
+        service.close()
+
+        # Truncating exactly through the checkpoint seq: recovery
+        # replays the suffix and reproduces the pre-crash state.
+        with open_log(config.oplog_path, backend=backend) as log:
+            log.truncate_through(boundary)
+        recovered = ClusteringService.recover(factory, config)
+        assert recovered.applied_seq == boundary
+        assert recovered.partition() == live_partition
+        recovered.close()
+
+        # One past it: the first op recovery needs is gone — a loud
+        # gap, never a silent divergence.
+        with open_log(config.oplog_path, backend=backend) as log:
+            log.truncate_through(boundary + 1)
+        with pytest.raises(RuntimeError, match="oplog gap"):
+            ClusteringService.recover(factory, config)
+
+
 class TestCheckpointStoreContract:
     @pytest.mark.parametrize("backend", ("json", "sqlite"))
     def test_save_load_prune(self, tmp_path, backend):
