@@ -1,0 +1,190 @@
+"""Hot-path micro-benchmarks: the kernels the serving layer lives in.
+
+Not a paper figure: tracks the three inner loops PR-over-PR so perf
+regressions in the incremental machinery are visible without running
+the full stream benchmark —
+
+* **graph ingest** — batched ``SimilarityGraph.add_objects`` throughput
+  (token and vector payloads; payloads prepared once per object);
+* **objective deltas** — incremental ``delta_merge``/``delta_split``/
+  ``delta_move`` rates per objective (the verification kernel of
+  Algorithms 1/2 and of Hill-climbing);
+* **hill-climbing** — scoped greedy-pass batch clustering time from
+  singletons (the observe-round kernel).
+
+Emits a table plus ``benchmarks/results/hotpath.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+
+import numpy as np
+
+from repro.clustering.batch import HillClimbing
+from repro.clustering.objectives import (
+    CorrelationObjective,
+    DBIndexObjective,
+    KMeansObjective,
+)
+from repro.clustering.state import Clustering
+from repro.eval import render_table
+from repro.similarity.euclidean import EuclideanSimilarity
+from repro.similarity.graph import SimilarityGraph
+from repro.similarity.jaccard import JaccardSimilarity
+
+from conftest import RESULTS_DIR
+
+N_OBJECTS = 400
+DELTA_ROUNDS = 3
+
+
+def _vector_payloads(n: int, seed: int) -> dict[int, np.ndarray]:
+    rng = random.Random(seed)
+    centers = [(rng.uniform(0, 20), rng.uniform(0, 20)) for _ in range(max(n // 40, 2))]
+    return {
+        obj_id: np.array(
+            [
+                centers[obj_id % len(centers)][0] + rng.gauss(0, 0.8),
+                centers[obj_id % len(centers)][1] + rng.gauss(0, 0.8),
+            ]
+        )
+        for obj_id in range(n)
+    }
+
+
+def _token_payloads(n: int, seed: int) -> dict[int, str]:
+    rng = random.Random(seed)
+    vocab = [f"tok{i}" for i in range(max(n // 8, 8))]
+    return {
+        obj_id: " ".join(rng.sample(vocab, 5)) + f" ent{obj_id % (n // 10)}"
+        for obj_id in range(n)
+    }
+
+
+def _euclidean_graph(n: int = N_OBJECTS, seed: int = 17) -> SimilarityGraph:
+    graph = SimilarityGraph(EuclideanSimilarity(scale=1.0), store_threshold=0.2)
+    graph.add_objects(_vector_payloads(n, seed))
+    return graph
+
+
+def _time_ingest(make_graph, payloads) -> float:
+    graph = make_graph()
+    start = time.perf_counter()
+    graph.add_objects(payloads)
+    return time.perf_counter() - start
+
+
+def bench_graph_ingest() -> list[dict]:
+    cases = [
+        (
+            "euclidean",
+            lambda: SimilarityGraph(EuclideanSimilarity(scale=1.0), store_threshold=0.2),
+            _vector_payloads(N_OBJECTS, seed=17),
+        ),
+        (
+            "jaccard",
+            lambda: SimilarityGraph(JaccardSimilarity(), store_threshold=0.1),
+            _token_payloads(N_OBJECTS, seed=23),
+        ),
+    ]
+    results = []
+    for name, make_graph, payloads in cases:
+        wall = _time_ingest(make_graph, payloads)
+        results.append(
+            {
+                "kernel": f"ingest-{name}",
+                "units": "objects/s",
+                "n": len(payloads),
+                "wall_s": wall,
+                "rate": len(payloads) / wall,
+            }
+        )
+    return results
+
+
+def bench_objective_deltas() -> list[dict]:
+    graph = _euclidean_graph()
+    objectives = [
+        CorrelationObjective(),
+        DBIndexObjective(),
+        KMeansObjective(k=12, penalty=50.0),
+    ]
+    results = []
+    for objective in objectives:
+        rng = random.Random(31)
+        labels = {obj_id: rng.randrange(40) for obj_id in graph.object_ids()}
+        clustering = Clustering.from_labels(graph, labels)
+        if isinstance(objective, KMeansObjective):
+            objective.bind_graph_payloads(clustering)
+        objective.score(clustering)  # warm caches
+        queries = 0
+        start = time.perf_counter()
+        for _ in range(DELTA_ROUNDS):
+            for cid in list(clustering.cluster_ids()):
+                for other in list(clustering.neighbor_clusters(cid)):
+                    objective.delta_merge(clustering, cid, other)
+                    queries += 1
+                members = sorted(clustering.members_view(cid))
+                if len(members) > 1:
+                    objective.delta_split(clustering, cid, {members[0]})
+                    queries += 1
+                    target = next(iter(clustering.neighbor_clusters(cid)), None)
+                    if target is not None:
+                        objective.delta_move(clustering, members[-1], target)
+                        queries += 1
+        wall = time.perf_counter() - start
+        results.append(
+            {
+                "kernel": f"deltas-{objective.name}",
+                "units": "deltas/s",
+                "n": queries,
+                "wall_s": wall,
+                "rate": queries / wall,
+            }
+        )
+    return results
+
+
+def bench_hill_climbing() -> list[dict]:
+    results = []
+    for objective_factory in (CorrelationObjective, DBIndexObjective):
+        graph = _euclidean_graph(n=200, seed=19)
+        climber = HillClimbing(objective_factory())
+        start = time.perf_counter()
+        clustering = climber.cluster(graph)
+        wall = time.perf_counter() - start
+        results.append(
+            {
+                "kernel": f"hillclimb-{objective_factory().name}",
+                "units": "objects/s",
+                "n": len(graph),
+                "wall_s": wall,
+                "rate": len(graph) / wall,
+                "clusters": clustering.num_clusters(),
+            }
+        )
+    return results
+
+
+def test_hotpath(emit):
+    results = bench_graph_ingest() + bench_objective_deltas() + bench_hill_climbing()
+    emit(
+        render_table(
+            ["kernel", "n", "wall s", "rate", "units"],
+            [[r["kernel"], r["n"], r["wall_s"], r["rate"], r["units"]] for r in results],
+            title="\n== hot-path micro-benchmarks ==",
+            precision=1,
+        )
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "hotpath.json", "w") as handle:
+        json.dump({"results": results}, handle, indent=2)
+        handle.write("\n")
+
+    # Sanity floors only — absolute rates are machine-dependent; the
+    # trajectory lives in the JSON artefact.
+    for r in results:
+        assert r["rate"] > 0

@@ -11,12 +11,16 @@ super-linear), and shards are independent, so a future async layer can
 run them concurrently — the wall-clock numbers here are single-threaded
 lower bounds.
 
-Known shape (reproducible, not host noise): 2 shards is *slower* than
-1 on this workload — the hash partition at N=2 concentrates the dense
-similarity component in one shard, and per-round cost grows
-super-linearly with component size, so partition balance matters more
-than shard count. It recovers by N=4. Balance-aware routing is an open
-item for a future PR.
+The headline rows run the serving configuration: the ``least-loaded``
+router with placement chunks aligned to the micro-batch (one batch of
+new objects wakes one engine, not all N) and continuous retraining
+(``retrain_every``) so serve-time rejections actually reach the models —
+without it a shard whose model over-predicts merges re-verifies and
+re-rejects the same candidates every round, forever. A ``hash``-router
+comparison block is recorded alongside: its N=2 pathology (the dense
+similarity component concentrates on one shard, and per-round cost
+grows super-linearly with component size) is what the balance-aware
+router exists to fix.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ import json
 import time
 
 from repro.clustering.objectives import DBIndexObjective
-from repro.core import DynamicC
+from repro.core import DynamicC, DynamicCConfig
 from repro.data.generators import generate_access
 from repro.data.workload import OperationMix, build_workload
 from repro.eval import render_table
@@ -34,6 +38,48 @@ from repro.stream import ClusteringService, StreamConfig
 from conftest import RESULTS_DIR
 
 SHARD_COUNTS = (1, 2, 4)
+RETRAIN_EVERY = 4
+#: Measured passes per configuration; the fastest is reported. The
+#: engines are deterministic, so repeated passes differ only by host
+#: noise — best-of-N keeps the recorded trajectory comparable across
+#: runs.
+PASSES = 2
+
+
+def _run_once(factory, events, n_shards: int, router: str):
+    service = ClusteringService(
+        factory,
+        StreamConfig(
+            n_shards=n_shards, batch_max_ops=64, train_rounds=2, router=router
+        ),
+    )
+    start = time.perf_counter()
+    service.ingest(events)
+    service.flush()
+    wall = time.perf_counter() - start
+    stats = service.stats()
+    assert stats["applied_seq"] == len(events)
+    assert stats["pending_ops"] == 0
+    return wall, stats
+
+
+def _run(factory, events, n_shards: int, router: str) -> dict:
+    wall, stats = min(
+        (_run_once(factory, events, n_shards, router) for _ in range(PASSES)),
+        key=lambda pair: pair[0],
+    )
+    return {
+        "n_shards": n_shards,
+        "router": router,
+        "events": len(events),
+        "wall_s": wall,
+        "events_per_s_wall": len(events) / wall,
+        "events_per_s_busy": stats["throughput_events_per_s"],
+        "batches": stats["batches_applied"],
+        "clusters": stats["num_clusters"],
+        "objects": stats["num_objects"],
+        "shard_objects": [shard["objects"] for shard in stats["shards"]],
+    }
 
 
 def test_stream_throughput(emit):
@@ -48,39 +94,22 @@ def test_stream_throughput(emit):
     events = workload.event_stream()
 
     def factory():
-        return DynamicC(dataset.graph(), DBIndexObjective(), seed=0)
+        return DynamicC(
+            dataset.graph(),
+            DBIndexObjective(),
+            seed=0,
+            config=DynamicCConfig(retrain_every=RETRAIN_EVERY),
+        )
 
-    results = []
-    for n_shards in SHARD_COUNTS:
-        service = ClusteringService(
-            factory,
-            StreamConfig(n_shards=n_shards, batch_max_ops=64, train_rounds=2),
-        )
-        start = time.perf_counter()
-        service.ingest(events)
-        service.flush()
-        wall = time.perf_counter() - start
-        stats = service.stats()
-        assert stats["applied_seq"] == len(events)
-        assert stats["pending_ops"] == 0
-        results.append(
-            {
-                "n_shards": n_shards,
-                "events": len(events),
-                "wall_s": wall,
-                "events_per_s_wall": len(events) / wall,
-                "events_per_s_busy": stats["throughput_events_per_s"],
-                "batches": stats["batches_applied"],
-                "clusters": stats["num_clusters"],
-                "objects": stats["num_objects"],
-            }
-        )
+    results = [_run(factory, events, n, "least-loaded") for n in SHARD_COUNTS]
+    hash_results = [_run(factory, events, n, "hash") for n in SHARD_COUNTS]
 
     emit(
         render_table(
-            ["shards", "events", "wall s", "ev/s (wall)", "ev/s (busy)", "clusters"],
+            ["router", "shards", "events", "wall s", "ev/s (wall)", "ev/s (busy)", "clusters"],
             [
                 [
+                    r["router"],
                     r["n_shards"],
                     r["events"],
                     r["wall_s"],
@@ -88,7 +117,7 @@ def test_stream_throughput(emit):
                     r["events_per_s_busy"],
                     r["clusters"],
                 ]
-                for r in results
+                for r in results + hash_results
             ],
             title="\n== repro.stream ingest throughput on Access (single-threaded) ==",
             precision=1,
@@ -96,11 +125,20 @@ def test_stream_throughput(emit):
     )
     RESULTS_DIR.mkdir(exist_ok=True)
     with open(RESULTS_DIR / "stream_throughput.json", "w") as handle:
-        json.dump({"workload": "access", "results": results}, handle, indent=2)
+        json.dump(
+            {
+                "workload": "access",
+                "engine": {"retrain_every": RETRAIN_EVERY},
+                "results": results,
+                "hash_router_comparison": hash_results,
+            },
+            handle,
+            indent=2,
+        )
         handle.write("\n")
 
     # Sanity floor only — absolute and comparative numbers are too
     # machine/noise-dependent to gate CI on; the trajectory lives in
     # the JSON artefact.
-    for r in results:
+    for r in results + hash_results:
         assert r["events_per_s_wall"] > 0

@@ -20,6 +20,21 @@ Two search strategies are provided:
   Hill-climbing takes >3 h on Road, so the batch method is expected to
   be slow — just not uselessly so).
 
+  For objectives declaring ``locality == "local"`` the passes after the
+  first are *scoped*: only clusters within ``objective.delta_horizon``
+  adjacency hops of the previous pass's applied changes are
+  re-evaluated (the dirty worklist). A cluster outside that frontier
+  entered the pass with no improving change available, and by the
+  locality contract nothing has moved its deltas since — so skipping it
+  removes redundant rescans (the same §6.4 convergence argument
+  DynamicC's serving loop uses). An improvement created *mid-pass* next
+  to a skipped cluster is picked up one pass later instead of within
+  the pass, so change ordering can differ from the full rescan in
+  principle; the seeded equivalence suite
+  (`tests/test_incremental_deltas.py`) pins both searches to identical
+  results. Globally-coupled objectives (fixed-k k-means) keep full
+  rescans.
+
 Candidate changes are restricted to the similarity graph: only clusters
 sharing at least one stored edge can profitably merge under any of the
 paper's objectives, and only the objects with the weakest link to their
@@ -126,6 +141,26 @@ class HillClimbing:
             return True
         return bool(clustering.members_view(cid) & scope)
 
+    def _dirty_frontier(self, clustering: Clustering, touched: set[int]) -> set[int]:
+        """Touched clusters expanded ``delta_horizon`` adjacency hops.
+
+        The next scoped pass re-evaluates exactly this set: by the
+        objective's locality contract no cluster further out has had a
+        candidate delta change sign since its own last evaluation.
+        """
+        frontier = {cid for cid in touched if clustering.contains_cluster(cid)}
+        boundary = set(frontier)
+        for _ in range(max(self.objective.delta_horizon, 1)):
+            grown: set[int] = set()
+            for cid in boundary:
+                grown.update(clustering.neighbor_clusters(cid))
+            grown -= frontier
+            if not grown:
+                break
+            frontier |= grown
+            boundary = grown
+        return frontier
+
     # ------------------------------------------------------------------
     # Greedy-pass strategy
     # ------------------------------------------------------------------
@@ -135,23 +170,34 @@ class HillClimbing:
         log: EvolutionLog | None,
         scope: set[int] | None,
     ) -> None:
+        scoped = self.objective.locality == "local"
+        worklist: set[int] | None = None  # None = evaluate every cluster
         for _ in range(self.max_passes):
-            changed = self._merge_pass(clustering, log, scope)
-            changed |= self._split_pass(clustering, log, scope)
-            changed |= self._move_pass(clustering, log, scope)
+            touched: set[int] = set()
+            changed = self._merge_pass(clustering, log, scope, worklist, touched)
+            changed |= self._split_pass(clustering, log, scope, worklist, touched)
+            changed |= self._move_pass(clustering, log, scope, worklist, touched)
             if not changed:
                 break
+            if scoped:
+                worklist = self._dirty_frontier(clustering, touched)
+                if not worklist:
+                    break
 
     def _merge_pass(
         self,
         clustering: Clustering,
         log: EvolutionLog | None,
         scope: set[int] | None,
+        worklist: set[int] | None = None,
+        touched: set[int] | None = None,
     ) -> bool:
         changed = False
         # Snapshot ids: merges mint fresh ids, so newly-created clusters
         # are reconsidered in the next pass, not this one.
         for cid in list(clustering.cluster_ids()):
+            if worklist is not None and cid not in worklist:
+                continue
             if not clustering.contains_cluster(cid):
                 continue
             if not self._in_scope(clustering, cid, scope):
@@ -175,10 +221,12 @@ class HillClimbing:
                     log.record_merge(
                         clustering.members(cid), clustering.members(best_other)
                     )
-                self.objective.apply_merge(clustering, cid, best_other)
+                new_cid = self.objective.apply_merge(clustering, cid, best_other)
+                if touched is not None:
+                    touched.add(new_cid)
                 changed = True
             elif self.chain_depth >= 2:
-                changed |= self._try_chain_merge(clustering, cid, log, scope)
+                changed |= self._try_chain_merge(clustering, cid, log, scope, touched)
         return changed
 
     def _try_chain_merge(
@@ -187,6 +235,7 @@ class HillClimbing:
         cid: int,
         log: EvolutionLog | None,
         scope: set[int] | None,
+        touched: set[int] | None = None,
     ) -> bool:
         """Compound move: merge ``cid`` with its closest clusters at once.
 
@@ -222,7 +271,9 @@ class HillClimbing:
                         for other in chain[1:]:
                             log.record_merge(accumulated, clustering.members(other))
                             accumulated = accumulated | clustering.members(other)
-                    self.objective.apply_merge_group(clustering, chain)
+                    new_cid = self.objective.apply_merge_group(clustering, chain)
+                    if touched is not None:
+                        touched.add(new_cid)
                     return True
         return False
 
@@ -248,9 +299,15 @@ class HillClimbing:
         clustering: Clustering,
         log: EvolutionLog | None,
         scope: set[int] | None,
+        worklist: set[int] | None = None,
+        touched: set[int] | None = None,
     ) -> bool:
         changed = False
         for cid in list(clustering.cluster_ids()):
+            if worklist is not None and cid not in worklist and (
+                touched is None or cid not in touched
+            ):
+                continue
             if not clustering.contains_cluster(cid):
                 continue
             if not self._in_scope(clustering, cid, scope):
@@ -261,7 +318,12 @@ class HillClimbing:
                 if delta < -self.tolerance:
                     if log is not None:
                         log.record_split(clustering.members(cid), frozenset(part))
-                    self.objective.apply_split(clustering, cid, part)
+                    rest_cid, part_cid = self.objective.apply_split(
+                        clustering, cid, part
+                    )
+                    if touched is not None:
+                        touched.add(rest_cid)
+                        touched.add(part_cid)
                     changed = True
                     break  # cid no longer exists; fresh ids seen next pass
         return changed
@@ -271,6 +333,8 @@ class HillClimbing:
         clustering: Clustering,
         log: EvolutionLog | None,
         scope: set[int] | None,
+        worklist: set[int] | None = None,
+        touched: set[int] | None = None,
     ) -> bool:
         proposals = self.objective.refinement_moves(clustering)
         if proposals is not None:
@@ -278,6 +342,10 @@ class HillClimbing:
         changed = False
         graph = clustering.graph
         for cid in list(clustering.cluster_ids()):
+            if worklist is not None and cid not in worklist and (
+                touched is None or cid not in touched
+            ):
+                continue
             if not clustering.contains_cluster(cid):
                 continue
             if not self._in_scope(clustering, cid, scope):
@@ -307,6 +375,10 @@ class HillClimbing:
                             frozenset({obj_id}), clustering.members(best_target)
                         )
                     self.objective.apply_move(clustering, obj_id, best_target)
+                    if touched is not None:
+                        touched.add(best_target)
+                        if clustering.contains_cluster(current):
+                            touched.add(current)
                     changed = True
                     break
         return changed

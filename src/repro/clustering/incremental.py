@@ -88,16 +88,20 @@ class IncrementalClusterer(ABC):
             if obj_id in self.clustering:
                 self.clustering.remove_object(obj_id)
             self.graph.remove_object(obj_id)
-        # Updates: remove + re-add under the same id (§6.1).
+        # Updates: remove + re-add under the same id (§6.1). A
+        # payload-identical update is a graph no-op but still re-enters
+        # initial processing (the singleton reset is the §6.1 contract).
         for obj_id, payload in updated.items():
             if obj_id in self.clustering:
                 self.clustering.remove_object(obj_id)
             self.graph.update_object(obj_id, payload)
             self._place_new_object(obj_id)
             changed.add(obj_id)
-        # Additions.
-        for obj_id, payload in added.items():
-            self.graph.add_object(obj_id, payload)
+        # Additions: the whole round enters the graph through the batched
+        # path (payloads prepared once, one version bump), then each new
+        # object gets its initial singleton placement.
+        self.graph.add_objects(added)
+        for obj_id in added:
             self._place_new_object(obj_id)
             changed.add(obj_id)
         return changed

@@ -12,8 +12,13 @@ plus mutation gateways ``apply_merge`` / ``apply_split`` so stateful
 objectives (DB-index keeps a per-cluster term cache) can update
 incrementally instead of re-scoring from scratch.
 
-The base class supplies exact-but-slow defaults (copy, mutate, score),
-which concrete objectives override with local-delta formulas.
+All three shipped objectives override the ``delta_*`` queries with
+O(neighbourhood) incremental formulas backed by per-cluster aggregates
+(sizes and intra-edge sums live on :class:`Clustering`; vector sums and
+DB-index term/scatter caches live on the objectives and are kept exact
+through the ``apply_*`` gateways). The copy-mutate-rescore versions
+remain available as ``exact_delta_*`` — the oracle the property tests
+compare every incremental formula against.
 """
 
 from __future__ import annotations
@@ -29,33 +34,76 @@ class ObjectiveFunction(ABC):
 
     name: str = "objective"
 
+    #: ``"local"`` promises every ``delta_*`` query depends only on the
+    #: similarity-graph neighbourhood of the touched clusters, so a
+    #: local search may skip clusters whose neighbourhood is unchanged
+    #: (the scoped greedy passes of
+    #: :class:`~repro.clustering.batch.hill_climbing.HillClimbing`).
+    #: ``"global"`` disables that scoping — the fixed-k k-means penalty
+    #: couples every cluster through the cluster count.
+    locality: str = "local"
+
+    #: How many adjacency hops an applied change can shift another
+    #: cluster's deltas through. 1 for objectives reading only direct
+    #: neighbour statistics; DB-index needs 2 because a delta reads the
+    #: cached R *terms* of neighbours, which themselves look one hop out.
+    delta_horizon: int = 1
+
     @abstractmethod
     def score(self, clustering: Clustering) -> float:
         """Full score of a clustering (lower is better)."""
+
+    # ------------------------------------------------------------------
+    # Exact oracles (copy, mutate, rescore)
+    # ------------------------------------------------------------------
+    def exact_delta_merge(self, clustering: Clustering, cid_a: int, cid_b: int) -> float:
+        """Copy-mutate-rescore merge delta — the incremental formulas' oracle."""
+        trial = clustering.copy()
+        before = self.score(trial)
+        trial.merge(cid_a, cid_b)
+        return self.score(trial) - before
+
+    def exact_delta_split(
+        self, clustering: Clustering, cid: int, part: Iterable[int]
+    ) -> float:
+        """Copy-mutate-rescore split delta."""
+        trial = clustering.copy()
+        before = self.score(trial)
+        trial.split(cid, set(part))
+        return self.score(trial) - before
+
+    def exact_delta_move(self, clustering: Clustering, obj_id: int, to_cid: int) -> float:
+        """Copy-mutate-rescore move delta."""
+        trial = clustering.copy()
+        before = self.score(trial)
+        trial.move(obj_id, to_cid)
+        return self.score(trial) - before
+
+    def exact_delta_merge_group(self, clustering: Clustering, cids: list[int]) -> float:
+        """Copy-mutate-rescore group-merge delta."""
+        if len(cids) < 2:
+            return 0.0
+        trial = clustering.copy()
+        before = self.score(trial)
+        current = cids[0]
+        for cid in cids[1:]:
+            current = trial.merge(current, cid)
+        return self.score(trial) - before
 
     # ------------------------------------------------------------------
     # Hypothetical-change queries
     # ------------------------------------------------------------------
     def delta_merge(self, clustering: Clustering, cid_a: int, cid_b: int) -> float:
         """Score change if ``cid_a`` and ``cid_b`` were merged (negative = improvement)."""
-        trial = clustering.copy()
-        before = self.score(trial)
-        trial.merge(cid_a, cid_b)
-        return self.score(trial) - before
+        return self.exact_delta_merge(clustering, cid_a, cid_b)
 
     def delta_split(self, clustering: Clustering, cid: int, part: Iterable[int]) -> float:
         """Score change if ``part`` were split out of ``cid``."""
-        trial = clustering.copy()
-        before = self.score(trial)
-        trial.split(cid, set(part))
-        return self.score(trial) - before
+        return self.exact_delta_split(clustering, cid, part)
 
     def delta_move(self, clustering: Clustering, obj_id: int, to_cid: int) -> float:
         """Score change if ``obj_id`` moved to cluster ``to_cid``."""
-        trial = clustering.copy()
-        before = self.score(trial)
-        trial.move(obj_id, to_cid)
-        return self.score(trial) - before
+        return self.exact_delta_move(clustering, obj_id, to_cid)
 
     def delta_merge_group(self, clustering: Clustering, cids: list[int]) -> float:
         """Score change if all of ``cids`` were merged into one cluster.
@@ -67,14 +115,7 @@ class ObjectiveFunction(ABC):
         stalls on fragmented optima. The default simulates on a copy;
         concrete objectives override with exact local computations.
         """
-        if len(cids) < 2:
-            return 0.0
-        trial = clustering.copy()
-        before = self.score(trial)
-        current = cids[0]
-        for cid in cids[1:]:
-            current = trial.merge(current, cid)
-        return self.score(trial) - before
+        return self.exact_delta_merge_group(clustering, cids)
 
     # ------------------------------------------------------------------
     # Mutation gateways (overridden by stateful objectives)

@@ -26,6 +26,12 @@ class CorrelationObjective(ObjectiveFunction):
 
     name = "correlation"
 
+    # Every delta reads only sizes, intra sums and cross weights of the
+    # touched clusters — one adjacency hop, so the scoped local search
+    # may skip clusters whose direct neighbourhood is unchanged.
+    locality = "local"
+    delta_horizon = 1
+
     def score(self, clustering: Clustering) -> float:
         intra_pairs = 0
         intra_weight = 0.0

@@ -29,11 +29,14 @@ The paper stresses DB-index "has no special properties for
 optimizing" [26], i.e. no locality/monotonicity shortcuts exist for
 incremental algorithms — which is exactly why it is the stress-test
 workload for DynamicC. Evaluating it naively is O(k·neighbours) per
-query, so this implementation keeps a per-cluster term cache (keyed on
-the clustering's version counter) and updates it *exactly* on
-merges/splits: a merge/split only changes R_j for clusters adjacent to
+query, so this implementation keeps per-cluster caches — R terms with
+their binding partner, plus scatter σ and size — keyed on the
+clustering's version counter and updated *exactly* on
+merges/splits/moves: a change only touches R_j for clusters adjacent to
 the touched clusters whose binding partner was touched, plus the new
-clusters themselves.
+clusters themselves. Delta queries read σ and sizes straight from the
+caches (profiling shows recomputing scatter per neighbour per query
+dominated the whole serving hot path before these caches existed).
 """
 
 from __future__ import annotations
@@ -52,6 +55,11 @@ class DBIndexObjective(ObjectiveFunction):
 
     name = "db-index"
 
+    #: A delta reads the cached R terms of the touched clusters'
+    #: neighbours, and those terms look one further hop out — so an
+    #: applied change can shift deltas two adjacency hops away.
+    delta_horizon = 2
+
     def __init__(self, distance_floor: float = _EPS, base_scatter: float = 0.05) -> None:
         if base_scatter <= 0:
             raise ValueError("base_scatter must be positive (see module docstring)")
@@ -61,6 +69,10 @@ class DBIndexObjective(ObjectiveFunction):
         self._cached_version: int = -1
         # cid -> (R term, binding partner cid or None)
         self._terms: dict[int, tuple[float, int | None]] = {}
+        # cid -> scatter σ_i, cid -> |C_i|; maintained alongside _terms
+        # so delta queries never recompute per-cluster statistics.
+        self._sigmas: dict[int, float] = {}
+        self._sizes: dict[int, int] = {}
         self._total: float = 0.0
 
     # ------------------------------------------------------------------
@@ -75,21 +87,20 @@ class DBIndexObjective(ObjectiveFunction):
         avg = intra_weight / pairs if pairs else 1.0
         return (1.0 - avg) + self.base_scatter
 
-    def _distance(
-        self, clustering: Clustering, cid_a: int, cid_b: int, cross_weight: float
-    ) -> float:
-        denom = clustering.size(cid_a) * clustering.size(cid_b)
-        return max(1.0 - cross_weight / denom, self.distance_floor)
-
     def _term(self, clustering: Clustering, cid: int) -> tuple[float, int | None]:
-        """R_i and its binding partner, computed from scratch."""
-        sigma = self._scatter(clustering, cid)
+        """R_i and its binding partner, from the σ/size caches."""
+        sigmas = self._sigmas
+        sizes = self._sizes
+        sigma = sigmas[cid]
+        size = sizes[cid]
+        floor = self.distance_floor
         best = sigma
         best_partner: int | None = None
         for other, cross in clustering.neighbor_clusters(cid).items():
-            ratio = (sigma + self._scatter(clustering, other)) / self._distance(
-                clustering, cid, other, cross
-            )
+            d = 1.0 - cross / (size * sizes[other])
+            if d < floor:
+                d = floor
+            ratio = (sigma + sigmas[other]) / d
             if ratio > best:
                 best = ratio
                 best_partner = other
@@ -104,6 +115,10 @@ class DBIndexObjective(ObjectiveFunction):
             and self._cached_version == clustering.version
         ):
             return
+        self._sigmas = {
+            cid: self._scatter(clustering, cid) for cid in clustering.cluster_ids()
+        }
+        self._sizes = {cid: clustering.size(cid) for cid in clustering.cluster_ids()}
         self._terms = {
             cid: self._term(clustering, cid) for cid in clustering.cluster_ids()
         }
@@ -116,6 +131,8 @@ class DBIndexObjective(ObjectiveFunction):
         self._cached_clustering = None
         self._cached_version = -1
         self._terms = {}
+        self._sigmas = {}
+        self._sizes = {}
         self._total = 0.0
 
     # ------------------------------------------------------------------
@@ -141,9 +158,12 @@ class DBIndexObjective(ObjectiveFunction):
     def delta_merge(self, clustering: Clustering, cid_a: int, cid_b: int) -> float:
         self._refresh(clustering)
         total = self._total
+        sigmas = self._sigmas
+        sizes = self._sizes
+        floor = self.distance_floor
 
         # Hypothetical merged cluster statistics.
-        size_a, size_b = clustering.size(cid_a), clustering.size(cid_b)
+        size_a, size_b = sizes[cid_a], sizes[cid_b]
         size_m = size_a + size_b
         cross_ab = clustering.cross_weight(cid_a, cid_b)
         intra_m = (
@@ -161,18 +181,22 @@ class DBIndexObjective(ObjectiveFunction):
         # R term of the merged cluster.
         r_m = sigma_m
         for other, cross in nbrs.items():
-            d = max(1.0 - cross / (size_m * clustering.size(other)), self.distance_floor)
-            ratio = (sigma_m + self._scatter(clustering, other)) / d
-            r_m = max(r_m, ratio)
+            d = 1.0 - cross / (size_m * sizes[other])
+            if d < floor:
+                d = floor
+            ratio = (sigma_m + sigmas[other]) / d
+            if ratio > r_m:
+                r_m = ratio
 
         new_total = total - self._terms[cid_a][0] - self._terms[cid_b][0] + r_m
 
         # Update affected neighbours.
         for other, cross in nbrs.items():
             old_r, old_partner = self._terms[other]
-            sigma_o = self._scatter(clustering, other)
-            d = max(1.0 - cross / (size_m * clustering.size(other)), self.distance_floor)
-            ratio_with_m = (sigma_o + sigma_m) / d
+            d = 1.0 - cross / (size_m * sizes[other])
+            if d < floor:
+                d = floor
+            ratio_with_m = (sigmas[other] + sigma_m) / d
             if old_partner in (cid_a, cid_b):
                 new_r = self._term_excluding(
                     clustering, other, exclude=(cid_a, cid_b)
@@ -197,9 +221,12 @@ class DBIndexObjective(ObjectiveFunction):
             return 0.0
         self._refresh(clustering)
         total = self._total
+        sigmas = self._sigmas
+        sizes = self._sizes
+        floor = self.distance_floor
         group = set(cids)
 
-        size_m = sum(clustering.size(cid) for cid in group)
+        size_m = sum(sizes[cid] for cid in group)
         intra_m = sum(clustering.intra_weight(cid) for cid in group)
         nbrs: dict[int, float] = {}
         internal_cross = 0.0
@@ -214,17 +241,22 @@ class DBIndexObjective(ObjectiveFunction):
 
         r_m = sigma_m
         for other, cross in nbrs.items():
-            d = max(1.0 - cross / (size_m * clustering.size(other)), self.distance_floor)
-            r_m = max(r_m, (sigma_m + self._scatter(clustering, other)) / d)
+            d = 1.0 - cross / (size_m * sizes[other])
+            if d < floor:
+                d = floor
+            ratio = (sigma_m + sigmas[other]) / d
+            if ratio > r_m:
+                r_m = ratio
 
         new_total = total - sum(self._terms[cid][0] for cid in group) + r_m
 
         exclude = tuple(group)
         for other, cross in nbrs.items():
             old_r, old_partner = self._terms[other]
-            sigma_o = self._scatter(clustering, other)
-            d = max(1.0 - cross / (size_m * clustering.size(other)), self.distance_floor)
-            ratio_with_m = (sigma_o + sigma_m) / d
+            d = 1.0 - cross / (size_m * sizes[other])
+            if d < floor:
+                d = floor
+            ratio_with_m = (sigmas[other] + sigma_m) / d
             if old_partner in group:
                 new_r = max(
                     self._term_excluding(clustering, other, exclude=exclude),
@@ -240,15 +272,21 @@ class DBIndexObjective(ObjectiveFunction):
         self, clustering: Clustering, cid: int, exclude: tuple[int, ...]
     ) -> float:
         """R term of ``cid`` ignoring candidate partners in ``exclude``."""
-        sigma = self._scatter(clustering, cid)
+        sigmas = self._sigmas
+        sizes = self._sizes
+        sigma = sigmas[cid]
+        size = sizes[cid]
+        floor = self.distance_floor
         best = sigma
         for other, cross in clustering.neighbor_clusters(cid).items():
             if other in exclude:
                 continue
-            ratio = (sigma + self._scatter(clustering, other)) / self._distance(
-                clustering, cid, other, cross
-            )
-            best = max(best, ratio)
+            d = 1.0 - cross / (size * sizes[other])
+            if d < floor:
+                d = floor
+            ratio = (sigma + sigmas[other]) / d
+            if ratio > best:
+                best = ratio
         return best
 
     def delta_split(self, clustering: Clustering, cid: int, part: Iterable[int]) -> float:
@@ -259,6 +297,9 @@ class DBIndexObjective(ObjectiveFunction):
         if not part_set or not rest:
             raise ValueError("part must be a non-empty proper subset")
         total = self._total
+        sigmas = self._sigmas
+        sizes = self._sizes
+        floor = self.distance_floor
         graph = clustering.graph
 
         # Statistics of the two hypothetical clusters. Only the part
@@ -290,7 +331,7 @@ class DBIndexObjective(ObjectiveFunction):
                 nbrs_r[other_cid] = remaining
 
         def ratio(sigma_x, size_x, sigma_y, size_y, cross) -> float:
-            d = max(1.0 - cross / (size_x * size_y), self.distance_floor)
+            d = max(1.0 - cross / (size_x * size_y), floor)
             return (sigma_x + sigma_y) / d
 
         # R terms of the two new clusters (they also neighbour each other
@@ -299,14 +340,7 @@ class DBIndexObjective(ObjectiveFunction):
             best = sigma_x
             for other, cross in nbrs.items():
                 best = max(
-                    best,
-                    ratio(
-                        sigma_x,
-                        size_x,
-                        self._scatter(clustering, other),
-                        clustering.size(other),
-                        cross,
-                    ),
+                    best, ratio(sigma_x, size_x, sigmas[other], sizes[other], cross)
                 )
             if cross_other > 0.0:
                 best = max(
@@ -322,8 +356,8 @@ class DBIndexObjective(ObjectiveFunction):
         # Update neighbours of the old cluster.
         for other in set(nbrs_p) | set(nbrs_r):
             old_r, old_partner = self._terms[other]
-            sigma_o = self._scatter(clustering, other)
-            size_o = clustering.size(other)
+            sigma_o = sigmas[other]
+            size_o = sizes[other]
             candidates = []
             if other in nbrs_p:
                 candidates.append(
@@ -357,6 +391,9 @@ class DBIndexObjective(ObjectiveFunction):
         self._refresh(clustering)
         graph = clustering.graph
         total = self._total
+        sigmas = self._sigmas
+        sizes = self._sizes
+        floor = self.distance_floor
         source = clustering.members_view(from_cid)
         target = clustering.members_view(to_cid)
         size_s, size_t = len(source), len(target)
@@ -404,7 +441,7 @@ class DBIndexObjective(ObjectiveFunction):
                 new_cross_t[other] = ct
 
         def ratio(sigma_x, size_x, sigma_y, size_y, cross) -> float:
-            d = max(1.0 - cross / (size_x * size_y), self.distance_floor)
+            d = max(1.0 - cross / (size_x * size_y), floor)
             return (sigma_x + sigma_y) / d
 
         # New term for the shrunken source (when it survives).
@@ -414,13 +451,7 @@ class DBIndexObjective(ObjectiveFunction):
             for other, cs in new_cross_s.items():
                 r_s_new = max(
                     r_s_new,
-                    ratio(
-                        sigma_s_new,
-                        size_s_new,
-                        self._scatter(clustering, other),
-                        clustering.size(other),
-                        cs,
-                    ),
+                    ratio(sigma_s_new, size_s_new, sigmas[other], sizes[other], cs),
                 )
             if c_st_new > 1e-12:
                 r_s_new = max(
@@ -433,13 +464,7 @@ class DBIndexObjective(ObjectiveFunction):
         for other, ct in new_cross_t.items():
             r_t_new = max(
                 r_t_new,
-                ratio(
-                    sigma_t_new,
-                    size_t_new,
-                    self._scatter(clustering, other),
-                    clustering.size(other),
-                    ct,
-                ),
+                ratio(sigma_t_new, size_t_new, sigmas[other], sizes[other], ct),
             )
         if sigma_s_new is not None and c_st_new > 1e-12:
             r_t_new = max(
@@ -454,8 +479,8 @@ class DBIndexObjective(ObjectiveFunction):
         # Affected third-party clusters.
         for other in others:
             old_r, old_partner = self._terms[other]
-            sigma_o = self._scatter(clustering, other)
-            size_o = clustering.size(other)
+            sigma_o = sigmas[other]
+            size_o = sizes[other]
             candidates = []
             if other in new_cross_s and sigma_s_new is not None:
                 candidates.append(
@@ -523,7 +548,15 @@ class DBIndexObjective(ObjectiveFunction):
         """
         for cid in removed:
             term, _ = self._terms.pop(cid)
+            self._sigmas.pop(cid, None)
+            self._sizes.pop(cid, None)
             self._total -= term
+
+        # σ/size of the new (or in-place-changed) clusters first — the
+        # term recomputations below read them from the caches.
+        for cid in added:
+            self._sigmas[cid] = self._scatter(clustering, cid)
+            self._sizes[cid] = clustering.size(cid)
 
         affected: set[int] = set(added)
         for cid in added:

@@ -11,8 +11,13 @@ large fixed cost, so Hill-climbing and DynamicC only change k in
 compensating merge+split pairs — the generic merge/split machinery then
 effectively performs *moves*, which is how a fixed-k method evolves.
 
-SSE per cluster is computed from the member vectors with the standard
-identity ``Σ‖x−μ‖² = Σ‖x‖² − ‖Σx‖²/n``, so deltas cost O(|A|+|B|).
+SSE per cluster follows the standard identity
+``Σ‖x−μ‖² = Σ‖x‖² − ‖Σx‖²/n``, evaluated from maintained per-cluster
+aggregates ``(n, Σx, Σ‖x‖²)`` — kept exact through the ``apply_*``
+mutation gateways and rebuilt from the member vectors only when the
+clustering was mutated behind the objective's back. Deltas therefore
+cost O(dim) (plus O(|part|·dim) for the split side actually scanned),
+never O(cluster size).
 """
 
 from __future__ import annotations
@@ -45,6 +50,11 @@ class KMeansObjective(ObjectiveFunction):
 
     name = "kmeans"
 
+    #: The fixed-k penalty reads the global cluster count, so a merge
+    #: anywhere shifts every other cluster's split/merge deltas — the
+    #: scoped local search must not skip "clean" clusters.
+    locality = "global"
+
     def __init__(
         self,
         k: int,
@@ -56,6 +66,11 @@ class KMeansObjective(ObjectiveFunction):
         self.k = k
         self._vector_of = vector_of
         self.penalty = float(penalty)
+        # Per-cluster aggregates cid -> (n, Σx, Σ‖x‖²), exact for the
+        # cached (clustering, version) pair.
+        self._cached_clustering: Clustering | None = None
+        self._cached_version: int = -1
+        self._aggs: dict[int, tuple[int, np.ndarray, float]] = {}
 
     def bind_graph_payloads(self, clustering: Clustering) -> None:
         """Use the clustering's graph payloads as vectors (idempotent)."""
@@ -72,30 +87,55 @@ class KMeansObjective(ObjectiveFunction):
         return self._vector_of(obj_id)
 
     # ------------------------------------------------------------------
-    def _sse(self, member_ids: Iterable[int]) -> float:
-        ids = list(member_ids)
-        if len(ids) <= 1:
-            return 0.0
-        vectors = np.array([self._vec(obj_id) for obj_id in ids], dtype=float)
-        sq_sum = float(np.sum(vectors * vectors))
-        vec_sum = vectors.sum(axis=0)
-        return sq_sum - float(vec_sum @ vec_sum) / len(ids)
+    # Aggregate cache
+    # ------------------------------------------------------------------
+    def _agg_of(self, member_ids: Iterable[int]) -> tuple[int, np.ndarray, float]:
+        vectors = np.array([self._vec(obj_id) for obj_id in member_ids], dtype=float)
+        if vectors.size == 0:
+            return 0, np.zeros(0), 0.0
+        return len(vectors), vectors.sum(axis=0), float(np.sum(vectors * vectors))
 
-    def score(self, clustering: Clustering) -> float:
+    def _refresh(self, clustering: Clustering) -> None:
+        if (
+            self._cached_clustering is clustering
+            and self._cached_version == clustering.version
+        ):
+            return
         self.bind_graph_payloads(clustering)
-        sse = sum(
-            self._sse(clustering.members_view(cid)) for cid in clustering.cluster_ids()
-        )
+        self._aggs = {
+            cid: self._agg_of(clustering.members_view(cid))
+            for cid in clustering.cluster_ids()
+        }
+        self._cached_clustering = clustering
+        self._cached_version = clustering.version
+
+    def invalidate(self) -> None:
+        """Drop the aggregate cache (next query rebuilds from scratch)."""
+        self._cached_clustering = None
+        self._cached_version = -1
+        self._aggs = {}
+
+    @staticmethod
+    def _sse_from(n: int, vec_sum: np.ndarray, sq_sum: float) -> float:
+        if n <= 1:
+            return 0.0
+        # Cancellation can leave a tiny negative; SSE is non-negative.
+        return max(sq_sum - float(vec_sum @ vec_sum) / n, 0.0)
+
+    # ------------------------------------------------------------------
+    def score(self, clustering: Clustering) -> float:
+        self._refresh(clustering)
+        sse = sum(self._sse_from(*agg) for agg in self._aggs.values())
         return sse + self.penalty * abs(clustering.num_clusters() - self.k)
 
     def delta_merge(self, clustering: Clustering, cid_a: int, cid_b: int) -> float:
-        self.bind_graph_payloads(clustering)
-        members_a = clustering.members_view(cid_a)
-        members_b = clustering.members_view(cid_b)
+        self._refresh(clustering)
+        n_a, s_a, q_a = self._aggs[cid_a]
+        n_b, s_b, q_b = self._aggs[cid_b]
         sse_delta = (
-            self._sse(list(members_a) + list(members_b))
-            - self._sse(members_a)
-            - self._sse(members_b)
+            self._sse_from(n_a + n_b, s_a + s_b, q_a + q_b)
+            - self._sse_from(n_a, s_a, q_a)
+            - self._sse_from(n_b, s_b, q_b)
         )
         k_now = clustering.num_clusters()
         penalty_delta = self.penalty * (abs(k_now - 1 - self.k) - abs(k_now - self.k))
@@ -104,46 +144,95 @@ class KMeansObjective(ObjectiveFunction):
     def delta_merge_group(self, clustering: Clustering, cids: list[int]) -> float:
         if len(cids) < 2:
             return 0.0
-        self.bind_graph_payloads(clustering)
-        union: list[int] = []
+        self._refresh(clustering)
+        n_m, s_m, q_m = 0, None, 0.0
         sse_parts = 0.0
         for cid in cids:
-            members = clustering.members_view(cid)
-            union.extend(members)
-            sse_parts += self._sse(members)
-        sse_delta = self._sse(union) - sse_parts
+            n, s, q = self._aggs[cid]
+            n_m += n
+            s_m = s.copy() if s_m is None else s_m + s
+            q_m += q
+            sse_parts += self._sse_from(n, s, q)
+        sse_delta = self._sse_from(n_m, s_m, q_m) - sse_parts
         k_now = clustering.num_clusters()
         k_after = k_now - (len(cids) - 1)
         penalty_delta = self.penalty * (abs(k_after - self.k) - abs(k_now - self.k))
         return sse_delta + penalty_delta
 
     def delta_split(self, clustering: Clustering, cid: int, part: Iterable[int]) -> float:
-        self.bind_graph_payloads(clustering)
+        self._refresh(clustering)
         part_set = set(part)
-        members = clustering.members_view(cid)
-        rest = members - part_set
-        if not rest or not part_set:
+        n_c, s_c, q_c = self._aggs[cid]
+        if not part_set or not len(part_set) < n_c:
             raise ValueError("part must be a non-empty proper subset")
-        sse_delta = self._sse(part_set) + self._sse(rest) - self._sse(members)
+        n_p, s_p, q_p = self._agg_of(part_set)
+        sse_delta = (
+            self._sse_from(n_p, s_p, q_p)
+            + self._sse_from(n_c - n_p, s_c - s_p, q_c - q_p)
+            - self._sse_from(n_c, s_c, q_c)
+        )
         k_now = clustering.num_clusters()
         penalty_delta = self.penalty * (abs(k_now + 1 - self.k) - abs(k_now - self.k))
         return sse_delta + penalty_delta
 
     def delta_move(self, clustering: Clustering, obj_id: int, to_cid: int) -> float:
-        self.bind_graph_payloads(clustering)
+        self._refresh(clustering)
         from_cid = clustering.cluster_of(obj_id)
         if from_cid == to_cid:
             return 0.0
-        source = clustering.members_view(from_cid)
-        target = clustering.members_view(to_cid)
+        v = np.asarray(self._vec(obj_id), dtype=float)
+        q_v = float(v @ v)
+        n_s, s_s, q_s = self._aggs[from_cid]
+        n_t, s_t, q_t = self._aggs[to_cid]
         delta = 0.0
-        delta += self._sse(source - {obj_id}) - self._sse(source)
-        delta += self._sse(set(target) | {obj_id}) - self._sse(target)
-        if len(source) == 1:  # moving the last member dissolves the cluster
+        delta += self._sse_from(n_s - 1, s_s - v, q_s - q_v) - self._sse_from(n_s, s_s, q_s)
+        delta += self._sse_from(n_t + 1, s_t + v, q_t + q_v) - self._sse_from(n_t, s_t, q_t)
+        if n_s == 1:  # moving the last member dissolves the cluster
             k_now = clustering.num_clusters()
             delta += self.penalty * (abs(k_now - 1 - self.k) - abs(k_now - self.k))
         return delta
 
+    # ------------------------------------------------------------------
+    # Mutation gateways keeping the aggregates exact
+    # ------------------------------------------------------------------
+    def apply_merge(self, clustering: Clustering, cid_a: int, cid_b: int) -> int:
+        self._refresh(clustering)
+        n_a, s_a, q_a = self._aggs.pop(cid_a)
+        n_b, s_b, q_b = self._aggs.pop(cid_b)
+        new_cid = clustering.merge(cid_a, cid_b)
+        self._aggs[new_cid] = (n_a + n_b, s_a + s_b, q_a + q_b)
+        self._cached_version = clustering.version
+        return new_cid
+
+    def apply_split(
+        self, clustering: Clustering, cid: int, part: Iterable[int]
+    ) -> tuple[int, int]:
+        self._refresh(clustering)
+        part_set = set(part)
+        n_c, s_c, q_c = self._aggs.pop(cid)
+        n_p, s_p, q_p = self._agg_of(part_set)
+        rest_cid, part_cid = clustering.split(cid, part_set)
+        self._aggs[rest_cid] = (n_c - n_p, s_c - s_p, q_c - q_p)
+        self._aggs[part_cid] = (n_p, s_p, q_p)
+        self._cached_version = clustering.version
+        return rest_cid, part_cid
+
+    def apply_move(self, clustering: Clustering, obj_id: int, to_cid: int) -> int:
+        self._refresh(clustering)
+        from_cid = clustering.cluster_of(obj_id)
+        result = clustering.move(obj_id, to_cid)
+        if from_cid != to_cid:
+            v = np.asarray(self._vec(obj_id), dtype=float)
+            q_v = float(v @ v)
+            n_s, s_s, q_s = self._aggs.pop(from_cid)
+            if n_s > 1:
+                self._aggs[from_cid] = (n_s - 1, s_s - v, q_s - q_v)
+            n_t, s_t, q_t = self._aggs[to_cid]
+            self._aggs[to_cid] = (n_t + 1, s_t + v, q_t + q_v)
+        self._cached_version = clustering.version
+        return result
+
+    # ------------------------------------------------------------------
     def merge_candidates(self, clustering: Clustering, cid: int) -> list[int] | None:
         """Nearest clusters by centroid distance when above the target k.
 
@@ -154,7 +243,7 @@ class KMeansObjective(ObjectiveFunction):
         """
         if clustering.num_clusters() <= self.k:
             return None
-        self.bind_graph_payloads(clustering)
+        self._refresh(clustering)
         center = self._centroid(clustering, cid)
         scored = []
         for other in clustering.cluster_ids():
@@ -166,30 +255,38 @@ class KMeansObjective(ObjectiveFunction):
         return [other for _, other in scored[:4]]
 
     def _centroid(self, clustering: Clustering, cid: int) -> np.ndarray:
-        members = clustering.members_view(cid)
-        return np.mean([self._vec(obj_id) for obj_id in members], axis=0)
+        self._refresh(clustering)
+        n, s, _ = self._aggs[cid]
+        return s / n
 
     def refinement_moves(self, clustering: Clustering) -> list[tuple[int, int]] | None:
         """Lloyd-style proposals: move objects to their nearest centroid."""
-        self.bind_graph_payloads(clustering)
+        self._refresh(clustering)
         cids = list(clustering.cluster_ids())
         if len(cids) < 2:
             return []
-        centers = np.array([self._centroid(clustering, cid) for cid in cids])
-        proposals: list[tuple[int, int]] = []
+        centers = np.array([self._aggs[cid][1] / self._aggs[cid][0] for cid in cids])
+        obj_ids: list[int] = []
+        owner: list[int] = []
         for idx, cid in enumerate(cids):
             for obj_id in clustering.members_view(cid):
-                vec = self._vec(obj_id)
-                distances = np.linalg.norm(centers - vec, axis=1)
-                best = int(np.argmin(distances))
-                if best != idx and distances[best] < distances[idx] - 1e-12:
-                    proposals.append((obj_id, cids[best]))
+                obj_ids.append(obj_id)
+                owner.append(idx)
+        vectors = np.array([self._vec(obj_id) for obj_id in obj_ids], dtype=float)
+        # Squared distances via ‖x‖² − 2x·c + ‖c‖² (the ‖x‖² column is
+        # constant per row and irrelevant to the row-wise comparison).
+        sq_dist = -2.0 * (vectors @ centers.T) + np.sum(centers * centers, axis=1)
+        best = np.argmin(sq_dist, axis=1)
+        proposals: list[tuple[int, int]] = []
+        for row, obj_id in enumerate(obj_ids):
+            idx = owner[row]
+            target = int(best[row])
+            if target != idx and sq_dist[row, target] < sq_dist[row, idx] - 1e-12:
+                proposals.append((obj_id, cids[target]))
         return proposals
 
     # ------------------------------------------------------------------
     def sse(self, clustering: Clustering) -> float:
         """Raw SSE without the k penalty (reported by Fig. 5(d))."""
-        self.bind_graph_payloads(clustering)
-        return sum(
-            self._sse(clustering.members_view(cid)) for cid in clustering.cluster_ids()
-        )
+        self._refresh(clustering)
+        return sum(self._sse_from(*agg) for agg in self._aggs.values())

@@ -49,6 +49,16 @@ class DynamicCConfig:
         k-means penalty makes *every* merge pass verification while
         above k) the partner choice must carry the quality. The
         ablation bench compares both.
+    partner_scan_limit:
+        Cap on how many Cl_merge partners Algorithm 1 scores per
+        dequeued cluster, keeping the strongest by average
+        cross-similarity (plus every objective-proposed extra
+        candidate). Dense cluster adjacencies otherwise make partner
+        selection O(degree) objective evaluations per cluster — almost
+        all rejected. The applied merge is still verified by its exact
+        delta, so the cap bounds scan cost, never correctness.
+        ``None`` scans every eligible neighbour (the pre-cap
+        behaviour, used by ablations).
     max_full_iterations:
         Cap on the alternating merge/split loop of Algorithm 3 (it
         terminates on its own because every applied change improves the
@@ -90,6 +100,7 @@ class DynamicCConfig:
     theta_floor: float = 0.02
     candidate_scope: str = "affected"
     partner_selection: str = "best-delta"
+    partner_scan_limit: int | None = 8
     max_full_iterations: int = 25
     verify_with_objective: bool = True
     retrain_every: int = 0

@@ -68,6 +68,25 @@ def merge_algorithm(
     config = config or DynamicCConfig()
     outcome = MergeOutcome()
 
+    # Round-level memo for pairwise merge deltas, keyed on the
+    # clustering version: within one version nothing mutates, so the
+    # delta of an unordered pair is scored once even though the partner
+    # loop visits it from both sides (and revisits survivors in later
+    # Algorithm-3 iterations). Any applied change bumps the version and
+    # naturally invalidates every cached entry.
+    delta_memo: dict[tuple[int, int, int], float] = {}
+
+    def pair_delta(cid_x: int, cid_y: int) -> float:
+        if cid_y < cid_x:
+            cid_x, cid_y = cid_y, cid_x
+        key = (cid_x, cid_y, clustering.version)
+        cached = delta_memo.get(key)
+        if cached is None:
+            cached = objective.delta_merge(clustering, cid_x, cid_y)
+            delta_memo[key] = cached
+            outcome.verifications += 1
+        return cached
+
     # Line 2: predict, collect Cl_merge.
     alive = [cid for cid in candidates if clustering.contains_cluster(cid)]
     features = [cluster_features(clustering, cid) for cid in alive]
@@ -98,7 +117,22 @@ def merge_algorithm(
         # the best objective delta (see DynamicCConfig.partner_selection).
         partner: int | None = None
         partner_score = float("inf")
-        partner_pool = list(clustering.neighbor_clusters(cid))
+        neighbour_cross = clustering.neighbor_clusters(cid)
+        partner_pool = list(neighbour_cross)
+        limit = config.partner_scan_limit
+        if limit is not None and len(partner_pool) > limit:
+            # Keep the strongest candidates by average cross-similarity;
+            # weakly-connected partners essentially never win best-delta
+            # and each one costs a full objective evaluation.
+            size_cid = clustering.size(cid)
+            partner_pool = sorted(
+                (
+                    o
+                    for o in partner_pool
+                    if o in cl_merge and clustering.contains_cluster(o)
+                ),
+                key=lambda o: -neighbour_cross[o] / (size_cid * clustering.size(o)),
+            )[:limit]
         extra = objective.merge_candidates(clustering, cid)
         if extra:
             seen_pool = set(partner_pool)
@@ -113,8 +147,7 @@ def merge_algorithm(
             if other not in cl_merge or not clustering.contains_cluster(other):
                 continue
             if by_delta:
-                score = objective.delta_merge(clustering, cid, other)
-                outcome.verifications += 1
+                score = pair_delta(cid, other)
             else:
                 score = model.merge_probability(
                     merged_features(clustering, cid, other)
@@ -132,8 +165,7 @@ def merge_algorithm(
             if by_delta:
                 delta = partner_score
             else:
-                outcome.verifications += 1
-                delta = objective.delta_merge(clustering, cid, partner)
+                delta = pair_delta(cid, partner)
             if not objective.improves(delta):
                 # Pairwise merge uphill: the cluster may still belong to a
                 # group whose complete merge improves (assembly barrier).

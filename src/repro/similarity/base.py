@@ -27,6 +27,19 @@ class SimilarityFunction(ABC):
     def similarity(self, a: Any, b: Any) -> float:
         """Return the similarity between two record payloads in [0, 1]."""
 
+    def prepare(self, payload: Any) -> Any:
+        """Pre-process a payload once for repeated scoring (identity by default).
+
+        The similarity graph calls this once per stored object and
+        passes the prepared values to :meth:`similarity`, so measures
+        with a per-payload parsing step (tokenization, array coercion)
+        pay it per *object* instead of per *pair*. Implementations must
+        keep ``similarity(prepare(a), prepare(b)) ==
+        similarity(a, b)`` — prepared values are an accepted input
+        form, never a different semantic.
+        """
+        return payload
+
     def __call__(self, a: Any, b: Any) -> float:
         return self.similarity(a, b)
 

@@ -86,13 +86,20 @@ class TokenBlockingIndex(CandidateIndex):
         self._key = key if key is not None else lambda payload: tokenize(str(payload))
         self._blocks: dict[str, set[int]] = defaultdict(set)
         self._max_block_size = max_block_size
+        # Tokens computed at add time, so remove never re-tokenizes.
+        self._tokens: dict[int, tuple[str, ...]] = {}
 
     def add(self, obj_id: int, payload: Any) -> None:
-        for token in self._key(payload):
+        tokens = tuple(self._key(payload))
+        self._tokens[obj_id] = tokens
+        for token in tokens:
             self._blocks[token].add(obj_id)
 
     def remove(self, obj_id: int, payload: Any) -> None:
-        for token in self._key(payload):
+        tokens = self._tokens.pop(obj_id, None)
+        if tokens is None:
+            tokens = tuple(self._key(payload))
+        for token in tokens:
             block = self._blocks.get(token)
             if block is None:
                 continue

@@ -44,6 +44,11 @@ class EuclideanSimilarity(SimilarityFunction):
     def similarity(self, a, b) -> float:
         return math.exp(-euclidean_distance(a, b) / self.scale)
 
+    def prepare(self, payload) -> np.ndarray:
+        """Coerce to a float array once per object (``np.asarray`` is a
+        no-op on the prepared value at pair-scoring time)."""
+        return np.asarray(payload, dtype=float)
+
     def distance_for_similarity(self, sim: float) -> float:
         """Invert the kernel: the distance at which similarity equals ``sim``."""
         if not 0.0 < sim <= 1.0:

@@ -16,10 +16,30 @@ far cheaper than all-pairs scoring on realistic workloads.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Mapping
+
+import numpy as np
 
 from .base import SimilarityFunction
 from .blocking import BruteForceIndex, CandidateIndex
+
+
+def payloads_equal(a: Any, b: Any) -> bool:
+    """Structural payload equality across the payload types the
+    generators produce (numpy arrays don't define truthy ``==``)."""
+    if a is b:
+        return True
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.shape == b.shape
+            and bool((a == b).all())
+        )
+    try:
+        return bool(a == b)
+    except (TypeError, ValueError):
+        return False
 
 
 class SimilarityGraph:
@@ -51,6 +71,10 @@ class SimilarityGraph:
         self.index = index if index is not None else BruteForceIndex()
         self.store_threshold = store_threshold
         self._payloads: dict[int, Any] = {}
+        # Per-object prepared payloads (tokens, coerced arrays…): the
+        # parsing half of a similarity measure runs once per object
+        # here, never once per scored pair.
+        self._prepared: dict[int, Any] = {}
         self._adj: dict[int, dict[int, float]] = {}
         self._total_weight = 0.0
         #: Monotonic counter bumped on every structural change; derived
@@ -60,30 +84,60 @@ class SimilarityGraph:
     # ------------------------------------------------------------------
     # Dynamic operations (§3.1: Adding / Removing / Updating)
     # ------------------------------------------------------------------
-    def add_object(self, obj_id: int, payload: Any) -> None:
-        """Insert a new object, scoring it against index candidates."""
+    def _insert(self, obj_id: int, payload: Any) -> None:
+        """Shared add core: score against index candidates, no version bump."""
         if obj_id in self._payloads:
             raise KeyError(f"object {obj_id} already present")
+        similarity = self.similarity_fn.similarity
+        prepared = self.similarity_fn.prepare(payload)
         self._payloads[obj_id] = payload
-        self._adj[obj_id] = {}
+        self._prepared[obj_id] = prepared
+        row = self._adj[obj_id] = {}
+        prepared_of = self._prepared
+        threshold = self.store_threshold
         for other in self.index.candidates(payload):
             if other == obj_id or other not in self._payloads:
                 continue
-            sim = self.similarity_fn.similarity(payload, self._payloads[other])
-            if sim >= self.store_threshold and sim > 0.0:
-                self._adj[obj_id][other] = sim
+            sim = similarity(prepared, prepared_of[other])
+            if sim >= threshold and sim > 0.0:
+                row[other] = sim
                 self._adj[other][obj_id] = sim
                 self._total_weight += sim
         # Register with the index only after scoring so the index never
         # proposes the object to itself mid-insert.
         self.index.add(obj_id, payload)
+
+    def add_object(self, obj_id: int, payload: Any) -> None:
+        """Insert a new object, scoring it against index candidates."""
+        self._insert(obj_id, payload)
         self.version += 1
+
+    def add_objects(self, items: Mapping[int, Any]) -> None:
+        """Insert a round of objects, equivalent to serial :meth:`add_object`.
+
+        Candidates are generated per object against the already-inserted
+        prefix (earlier round members included), so every new↔new pair
+        is proposed and scored exactly once — from the later side — and
+        every payload is prepared exactly once. One version bump covers
+        the whole round.
+        """
+        inserted = 0
+        try:
+            for obj_id, payload in items.items():
+                self._insert(obj_id, payload)
+                inserted += 1
+        finally:
+            # A mid-batch failure (e.g. a duplicate id) must not leave
+            # completed inserts invisible to version-keyed caches.
+            if inserted:
+                self.version += 1
 
     def remove_object(self, obj_id: int) -> None:
         """Remove an object and all its edges."""
         payload = self._payloads.pop(obj_id, None)
         if payload is None:
             raise KeyError(f"object {obj_id} not present")
+        self._prepared.pop(obj_id, None)
         self.index.remove(obj_id, payload)
         for other, sim in self._adj.pop(obj_id).items():
             del self._adj[other][obj_id]
@@ -93,8 +147,17 @@ class SimilarityGraph:
     def update_object(self, obj_id: int, payload: Any) -> None:
         """Replace an object's payload, rescoring its edges.
 
-        §6.1 models an update as remove + add under the *same* id.
+        §6.1 models an update as remove + add under the *same* id. An
+        update that does not change the payload is a structural no-op
+        (identical payload ⇒ identical edges), so it returns without
+        rescoring — and without bumping ``version``, keeping derived
+        caches valid.
         """
+        current = self._payloads.get(obj_id)
+        if current is None:
+            raise KeyError(f"object {obj_id} not present")
+        if payloads_equal(current, payload):
+            return
         self.remove_object(obj_id)
         self.add_object(obj_id, payload)
 

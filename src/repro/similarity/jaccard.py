@@ -36,6 +36,10 @@ class JaccardSimilarity(SimilarityFunction):
     def similarity(self, a, b) -> float:
         return jaccard(self._as_tokens(a), self._as_tokens(b))
 
+    def prepare(self, payload) -> frozenset[str]:
+        """Tokenize once per object — pair scoring then skips ``_as_tokens``."""
+        return self._as_tokens(payload)
+
     @staticmethod
     def _as_tokens(value) -> frozenset[str]:
         if isinstance(value, frozenset):

@@ -45,3 +45,7 @@ class CosineTrigramSimilarity(SimilarityFunction):
 
     def similarity(self, a, b) -> float:
         return cosine_trigram(a, b)
+
+    def prepare(self, payload) -> Counter:
+        """Build the trigram profile once per object, not once per pair."""
+        return payload if isinstance(payload, Counter) else trigram_profile(payload)

@@ -10,7 +10,8 @@ a serveable system:
 * :mod:`repro.stream.sqlite_backend` — sqlite implementations of the log
   and checkpoint contracts (same Operation-level semantics);
 * :mod:`repro.stream.batching` — micro-batcher folding events into rounds;
-* :mod:`repro.stream.router` — stable hash routing + membership table;
+* :mod:`repro.stream.router` — stable hash + balance-aware least-loaded
+  routing (oplog-stamped placement) and the membership table;
 * :mod:`repro.stream.shard` — one DynamicC engine with train-then-serve
   lifecycle and checkpoint/restore;
 * :mod:`repro.stream.checkpoint` — the :class:`CheckpointStore` contract
@@ -34,9 +35,13 @@ from .events import Operation, add, remove, update
 from .metrics import LatencyStat, MetricsRegistry, ShardMetrics
 from .oplog import LOG_BACKENDS, LogBackend, OperationLog, open_log
 from .router import (
+    ROUTERS,
     HashRouter,
+    LeastLoadedRouter,
     MembershipTable,
+    Router,
     global_cluster_id,
+    make_router,
     parse_cluster_id,
     stable_hash,
 )
@@ -52,8 +57,12 @@ __all__ = [
     "HashRouter",
     "LOG_BACKENDS",
     "LatencyStat",
+    "LeastLoadedRouter",
     "LogBackend",
     "MembershipTable",
+    "ROUTERS",
+    "Router",
+    "make_router",
     "MetricsRegistry",
     "MicroBatcher",
     "Operation",

@@ -32,13 +32,19 @@ class Operation:
     """One data operation on one object.
 
     ``seq`` is the operation-log sequence number: 0 until the log
-    assigns one (log sequences start at 1).
+    assigns one (log sequences start at 1). ``shard`` is an optional
+    routing stamp: balance-aware routers decide placement at ingest
+    time and record it here *before* the operation is logged, so crash
+    recovery and replicas replay to identical shard placement without
+    re-running the routing policy. ``None`` means "derive by stable
+    hash" — the stateless default.
     """
 
     kind: str
     obj_id: int
     payload: Any = None
     seq: int = 0
+    shard: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -50,17 +56,23 @@ class Operation:
             raise ValueError(f"{self.kind} operations require a payload")
 
     def with_seq(self, seq: int) -> "Operation":
-        return Operation(self.kind, self.obj_id, self.payload, seq)
+        return Operation(self.kind, self.obj_id, self.payload, seq, self.shard)
+
+    def with_shard(self, shard: int) -> "Operation":
+        return Operation(self.kind, self.obj_id, self.payload, self.seq, shard)
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         data = {"seq": self.seq, "kind": self.kind, "id": self.obj_id}
+        if self.shard is not None:
+            data["shard"] = self.shard
         if self.kind not in _PAYLOADLESS:
             data["payload"] = encode_payload(self.payload)
         return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "Operation":
+        shard = data.get("shard")
         return cls(
             kind=data["kind"],
             obj_id=int(data["id"]),
@@ -70,6 +82,7 @@ class Operation:
                 else None
             ),
             seq=int(data["seq"]),
+            shard=int(shard) if shard is not None else None,
         )
 
 

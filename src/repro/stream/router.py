@@ -1,9 +1,26 @@
-"""Hash routing and the cross-shard membership table.
+"""Routing (hash and least-loaded) and the cross-shard membership table.
 
-Objects are partitioned over N independent DynamicC engines by a stable
-integer hash of their id — stable across processes and Python versions
-(unlike builtin ``hash``), so a recovered service routes exactly like
-the crashed one and checkpoints stay valid.
+Objects are partitioned over N independent DynamicC engines. Two
+policies are provided:
+
+* :class:`HashRouter` — a stable integer hash of the object id (stable
+  across processes and Python versions, unlike builtin ``hash``), so a
+  recovered service routes exactly like the crashed one without any
+  recorded state.
+* :class:`LeastLoadedRouter` — new objects go to the shard currently
+  holding the fewest (live + pending) objects; known objects stay on
+  their shard (sticky). The decision is stamped into the
+  :class:`~repro.stream.events.Operation` *before* it is logged, so
+  recovery and replicas replay to identical placement by reading the
+  stamp instead of re-running the policy. This fixes the documented
+  hash pathology where small shard counts concentrate a dense
+  similarity component — and its super-linear round cost — on one
+  shard.
+
+:meth:`Router.partition` is shared: a stamped operation goes where its
+stamp says, an unstamped one where the stable hash says, so logs
+written under either policy (or a mix, after a config change) replay
+identically everywhere.
 
 Cluster ids are shard-local; the service namespaces them as
 ``"s<shard>:<cid>"`` global ids. The :class:`MembershipTable` is the
@@ -16,7 +33,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from .events import Operation
+from .events import REMOVE, Operation
 
 
 def stable_hash(obj_id: int) -> int:
@@ -39,8 +56,11 @@ def parse_cluster_id(gcid: str) -> tuple[int, int]:
     return int(shard_part[1:]), int(cid_part)
 
 
-class HashRouter:
-    """Deterministic object-id → shard-index routing."""
+class Router:
+    """Object-id → shard-index routing over stamped or hashed placement."""
+
+    #: Config name (see ``StreamConfig.router``); set by subclasses.
+    name = "router"
 
     def __init__(self, n_shards: int) -> None:
         if n_shards < 1:
@@ -48,14 +68,174 @@ class HashRouter:
         self.n_shards = n_shards
 
     def shard_of(self, obj_id: int) -> int:
+        """Default placement of an id with no recorded assignment."""
         return stable_hash(obj_id) % self.n_shards
 
+    # ------------------------------------------------------------------
+    # Policy hooks (stateless by default)
+    # ------------------------------------------------------------------
+    def assign(self, operations: list[Operation]) -> list[Operation]:
+        """Decide placement for freshly ingested operations.
+
+        Called once per ingest, *before* the operations reach the oplog,
+        so whatever the policy stamps is durable. The stateless hash
+        policy stamps nothing — the hash is re-derivable anywhere.
+        """
+        return operations
+
+    def observe(self, operation: Operation) -> None:
+        """Learn from an already-stamped operation (replay/shipped path)."""
+
+    def rebuild(self, shard_object_ids: Iterable[Iterable[int]]) -> None:
+        """Re-learn placements from restored shard engines (recovery)."""
+
+    # ------------------------------------------------------------------
     def partition(self, operations: Sequence[Operation]) -> dict[int, list[Operation]]:
-        """Split a batch into per-shard operation slices (stream order)."""
+        """Split a batch into per-shard operation slices (stream order).
+
+        Stamped operations go to their recorded shard; unstamped ones
+        fall back to the stable hash — a pure function of the batch, so
+        every consumer of the same log cuts identical slices.
+        """
         parts: dict[int, list[Operation]] = {}
+        n = self.n_shards
         for operation in operations:
-            parts.setdefault(self.shard_of(operation.obj_id), []).append(operation)
+            shard = operation.shard
+            if shard is None:
+                shard = stable_hash(operation.obj_id) % n
+            parts.setdefault(shard, []).append(operation)
         return parts
+
+
+class HashRouter(Router):
+    """Deterministic, stateless object-id → shard-index routing."""
+
+    name = "hash"
+
+
+class LeastLoadedRouter(Router):
+    """Assign new objects to the lightest shard; known objects are sticky.
+
+    Load is the number of objects currently counted on a shard —
+    applied *and* pending, because a sticky decision must hold from the
+    moment it is stamped (a remove and a re-add of the same id buffered
+    in one micro-batch must land on the same shard, or one engine sees
+    an add it never gets and another a remove for an unknown id).
+
+    Assignments survive removal: a re-added id returns to its previous
+    shard, which keeps every operation for one id on one engine without
+    cross-shard coordination. Only :meth:`rebuild` (recovery from a
+    checkpoint) forgets dead ids.
+
+    ``chunk`` sets the placement granularity: the lightest shard is
+    re-evaluated every ``chunk`` *new* objects, and the whole block goes
+    there. Per-object re-evaluation (``chunk=1``) interleaves the
+    stream across all shards, so every micro-batch wakes every engine —
+    N small, fixed-overhead clustering rounds per batch instead of one.
+    The service aligns ``chunk`` with its micro-batch budget, making a
+    batch of new objects (mostly) a single engine's round while shard
+    loads stay balanced to within one chunk.
+    """
+
+    name = "least-loaded"
+
+    def __init__(self, n_shards: int, chunk: int = 1) -> None:
+        super().__init__(n_shards)
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        self.chunk = chunk
+        self._assignment: dict[int, int] = {}
+        self._counted: set[int] = set()
+        self._load = [0] * n_shards
+        self._chunk_shard = 0
+        self._chunk_left = 0
+
+    def loads(self) -> list[int]:
+        """Current per-shard object counts (live + pending)."""
+        return list(self._load)
+
+    def shard_of(self, obj_id: int) -> int:
+        assigned = self._assignment.get(obj_id)
+        return assigned if assigned is not None else super().shard_of(obj_id)
+
+    def _lightest(self) -> int:
+        if self._chunk_left <= 0:
+            self._chunk_shard = min(
+                range(self.n_shards), key=lambda shard: (self._load[shard], shard)
+            )
+            self._chunk_left = self.chunk
+        self._chunk_left -= 1
+        return self._chunk_shard
+
+    def _count(self, obj_id: int, shard: int) -> None:
+        if obj_id not in self._counted:
+            self._counted.add(obj_id)
+            self._load[shard] += 1
+
+    def _uncount(self, obj_id: int, shard: int) -> None:
+        if obj_id in self._counted:
+            self._counted.discard(obj_id)
+            self._load[shard] -= 1
+
+    def assign(self, operations: list[Operation]) -> list[Operation]:
+        stamped: list[Operation] = []
+        for operation in operations:
+            obj_id = operation.obj_id
+            shard = self._assignment.get(obj_id)
+            if operation.kind == REMOVE:
+                # Unknown removes are no-ops at the shard; stamp the
+                # hash default so the record stays self-describing.
+                if shard is None:
+                    shard = super().shard_of(obj_id)
+                else:
+                    self._uncount(obj_id, shard)
+                stamped.append(operation.with_shard(shard))
+                continue
+            if shard is None:
+                shard = self._lightest()
+                self._assignment[obj_id] = shard
+            self._count(obj_id, shard)
+            stamped.append(operation.with_shard(shard))
+        return stamped
+
+    def observe(self, operation: Operation) -> None:
+        """Replay one logged/shipped operation into the load state.
+
+        Re-observing operations the live path already assigned is safe:
+        count/uncount are guarded, so replaying any prefix of the stream
+        converges to the same loads the stamping run had.
+        """
+        shard = operation.shard
+        if shard is None:
+            return
+        obj_id = operation.obj_id
+        if operation.kind == REMOVE:
+            self._uncount(obj_id, self._assignment.get(obj_id, shard))
+        else:
+            self._assignment.setdefault(obj_id, shard)
+            self._count(obj_id, self._assignment[obj_id])
+
+    def rebuild(self, shard_object_ids: Iterable[Iterable[int]]) -> None:
+        self._assignment = {}
+        self._counted = set()
+        self._load = [0] * self.n_shards
+        self._chunk_left = 0  # placement blocks restart after recovery
+        for shard, ids in enumerate(shard_object_ids):
+            for obj_id in ids:
+                self._assignment[obj_id] = shard
+                self._counted.add(obj_id)
+                self._load[shard] += 1
+
+
+ROUTERS = ("hash", "least-loaded")
+
+
+def make_router(name: str, n_shards: int, chunk: int = 1) -> Router:
+    if name == "hash":
+        return HashRouter(n_shards)
+    if name == "least-loaded":
+        return LeastLoadedRouter(n_shards, chunk=chunk)
+    raise ValueError(f"router must be one of {ROUTERS}, got {name!r}")
 
 
 class MembershipTable:

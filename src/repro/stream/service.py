@@ -37,7 +37,13 @@ from .checkpoint import CHECKPOINT_BACKENDS, open_checkpoints
 from .events import FLUSH, Operation
 from .metrics import MetricsRegistry
 from .oplog import LOG_BACKENDS, open_log
-from .router import HashRouter, MembershipTable, global_cluster_id, parse_cluster_id
+from .router import (
+    ROUTERS,
+    MembershipTable,
+    global_cluster_id,
+    make_router,
+    parse_cluster_id,
+)
 from .shard import EngineFactory, StreamShard
 
 
@@ -59,6 +65,20 @@ class StreamConfig:
         Non-empty rounds each shard observes (batch re-clustering +
         evolution capture) before fitting its models and switching to
         prediction.
+    router:
+        Placement policy: ``"hash"`` (stateless, the historical
+        default) or ``"least-loaded"`` (new objects to the lightest
+        shard, sticky thereafter; every decision is stamped into the
+        logged operation, so recovery and replicas replay to identical
+        placement). Switching hash → least-loaded over an existing log
+        is safe — stamped and unstamped operations partition the same
+        everywhere, and the router re-learns live placements on
+        recovery. The reverse switch is refused at *ingest* time: once
+        stamped placements have been applied, a hash router would send
+        new operations for already-placed objects to the wrong shard.
+        (Recovering or serving reads over stamped state with a hash
+        config stays legal — that is exactly what a read replica of a
+        least-loaded primary does.)
     oplog_path:
         Operation-log file; ``None`` runs the service ephemerally
         (no durability, no recovery).
@@ -82,6 +102,7 @@ class StreamConfig:
     batch_max_ops: int = 256
     batch_max_age: float | None = None
     train_rounds: int = 3
+    router: str = "hash"
     oplog_path: Any = None
     checkpoint_dir: Any = None
     log_backend: str = "jsonl"
@@ -95,6 +116,10 @@ class StreamConfig:
             raise ValueError("n_shards must be >= 1")
         if self.train_rounds < 1:
             raise ValueError("train_rounds must be >= 1")
+        if self.router not in ROUTERS:
+            raise ValueError(
+                f"router must be one of {ROUTERS}, got {self.router!r}"
+            )
         if self.log_backend not in LOG_BACKENDS:
             raise ValueError(
                 f"log_backend must be one of {LOG_BACKENDS}, got {self.log_backend!r}"
@@ -137,7 +162,11 @@ class ClusteringService:
     def __init__(self, engine_factory: EngineFactory, config: StreamConfig | None = None) -> None:
         self.config = config or StreamConfig()
         self._engine_factory = engine_factory
-        self.router = HashRouter(self.config.n_shards)
+        # Placement blocks align with the micro-batch budget so one
+        # batch of new objects is (mostly) one engine's round.
+        self.router = make_router(
+            self.config.router, self.config.n_shards, chunk=self.config.batch_max_ops
+        )
         self.shards = [
             StreamShard(index, engine_factory, self.config.train_rounds)
             for index in range(self.config.n_shards)
@@ -167,6 +196,12 @@ class ClusteringService:
         )
         #: Sequence number of the last operation applied to a shard.
         self.applied_seq = 0
+        #: True once any applied operation carried a routing stamp.
+        #: Ingesting through a stateless hash router after that would
+        #: route already-placed objects to the wrong shard, so ingest
+        #: refuses (reads and replay stay legal — placement follows
+        #: the stamps regardless of this service's router config).
+        self.placements_stamped = False
         # Ephemeral stamping when no oplog is configured.
         self._next_seq = 1
 
@@ -193,6 +228,16 @@ class ClusteringService:
             raise ValueError(
                 "flush markers are control records; call flush() instead"
             )
+        if self.placements_stamped and self.config.router == "hash":
+            raise RuntimeError(
+                "this service's state contains stamped (least-loaded) "
+                "placements; ingesting through router='hash' would route "
+                "operations for already-placed objects to the wrong shard "
+                "— recover/promote with router='least-loaded' instead"
+            )
+        # Placement is decided here — before logging — so the stamped
+        # assignment is durable and replays/ships verbatim.
+        ops = self.router.assign(ops)
         if self.oplog is not None:
             ops = self.oplog.append(ops)
         else:
@@ -229,6 +274,10 @@ class ClusteringService:
 
     def _apply_batch(self, batch: list[Operation]) -> None:
         start = time.perf_counter()
+        if not self.placements_stamped and any(
+            op.shard is not None for op in batch
+        ):
+            self.placements_stamped = True
         for shard_index, slice_ops in sorted(self.router.partition(batch).items()):
             shard = self.shards[shard_index]
             round_ops = RoundOps.fold(slice_ops).normalized(shard.is_live)
@@ -289,6 +338,7 @@ class ClusteringService:
         """Telemetry snapshot plus live engine/stream gauges."""
         snapshot = self.metrics.snapshot()
         snapshot.update(
+            router=self.config.router,
             applied_seq=self.applied_seq,
             last_seq=self.oplog.last_seq if self.oplog is not None else self._next_seq - 1,
             pending_ops=len(self.batcher),
@@ -340,6 +390,9 @@ class ClusteringService:
                     if batch:
                         self._apply_batch(batch)
                 else:
+                    # Already-stamped placements teach the router its
+                    # load state (recovery, replicas, promotion).
+                    self.router.observe(operation)
                     self.metrics.events_ingested += 1
                     self.batcher.add(operation)
                     self._apply_ready()
@@ -367,6 +420,11 @@ class ClusteringService:
             # with the same values or replay would re-cut differently.
             "batch_max_ops": self.config.batch_max_ops,
             "train_rounds": self.config.train_rounds,
+            # Recorded so a later ingest can refuse the unsafe
+            # least-loaded → hash downgrade (sticky placements would be
+            # abandoned); the router name is informational.
+            "router": self.config.router,
+            "placements_stamped": self.placements_stamped,
             "shards": [shard.checkpoint_state() for shard in self.shards],
         }
         path = self.checkpoints.save(state)
@@ -412,12 +470,21 @@ class ClusteringService:
                         f"{want}; recovery with different round-cutting "
                         "parameters would silently diverge"
                     )
+            # Older checkpoints predate the flag; a least-loaded writer
+            # implies stamped placements.
+            service.placements_stamped = bool(
+                state.get(
+                    "placements_stamped", state.get("router") == "least-loaded"
+                )
+            )
             service.shards = [
                 StreamShard.restore(shard_state, engine_factory, config.train_rounds)
                 for shard_state in state["shards"]
             ]
             service.applied_seq = int(state["applied_seq"])
-            service.membership.rebuild(shard.object_ids() for shard in service.shards)
+            restored_ids = [list(shard.object_ids()) for shard in service.shards]
+            service.membership.rebuild(restored_ids)
+            service.router.rebuild(restored_ids)
             # Fast-forward the sequence stampers past the checkpoint:
             # recovering without a log (or from a lost/compacted one)
             # must not re-issue already-used sequence numbers, or new

@@ -107,3 +107,96 @@ class TestAggregates:
         edges = list(paper_graph.edges())
         assert len(edges) == paper_graph.edge_count()
         assert all(a < b for a, b, _ in edges)
+
+
+class TestBatchedMaintenance:
+    def test_noop_update_returns_early(self):
+        """Satellite: a payload-identical update must not rescore edges
+        (and must not bump the version, so derived caches stay valid)."""
+        table = TableSimilarity({("a", "b"): 0.9})
+        graph = SimilarityGraph(table, store_threshold=0.1)
+        graph.add_object(1, "a")
+        graph.add_object(2, "b")
+        version = graph.version
+        calls = 0
+        original = table.similarity
+
+        def counting(x, y):
+            nonlocal calls
+            calls += 1
+            return original(x, y)
+
+        table.similarity = counting
+        graph.update_object(1, "a")
+        assert calls == 0
+        assert graph.version == version
+        assert graph.similarity(1, 2) == pytest.approx(0.9)
+
+    def test_noop_update_with_numpy_payload(self):
+        import numpy as np
+
+        from repro.similarity import EuclideanSimilarity
+
+        graph = SimilarityGraph(EuclideanSimilarity(scale=1.0))
+        graph.add_object(1, np.array([1.0, 2.0]))
+        graph.add_object(2, np.array([1.1, 2.1]))
+        version = graph.version
+        graph.update_object(1, np.array([1.0, 2.0]))  # equal array, new object
+        assert graph.version == version
+        graph.update_object(1, np.array([9.0, 9.0]))  # a real change rescores
+        assert graph.version > version
+
+    def test_update_of_missing_object_rejected(self):
+        graph = build_paper_graph()
+        with pytest.raises(KeyError):
+            graph.update_object(999, "zzz")
+
+    def test_add_objects_matches_serial_adds(self):
+        """The batched round-level insert must build the exact graph the
+        serial path builds (same edges, same total weight)."""
+        payloads = {
+            1: "alpha beta",
+            2: "beta gamma",
+            3: "gamma delta",
+            4: "alpha delta",
+        }
+        serial = SimilarityGraph(JaccardSimilarity(), store_threshold=0.05)
+        for obj_id, payload in payloads.items():
+            serial.add_object(obj_id, payload)
+        batched = SimilarityGraph(JaccardSimilarity(), store_threshold=0.05)
+        batched.add_objects(payloads)
+        assert dict(batched.neighbors(1)) == dict(serial.neighbors(1))
+        assert batched.total_weight == pytest.approx(serial.total_weight)
+        assert batched.edge_count() == serial.edge_count()
+        # One structural change for the whole round.
+        assert batched.version == 1
+
+    def test_add_objects_scores_each_pair_once(self):
+        fn = JaccardSimilarity()
+        calls = 0
+        original = fn.similarity
+
+        def counting(a, b):
+            nonlocal calls
+            calls += 1
+            return original(a, b)
+
+        fn.similarity = counting
+        graph = SimilarityGraph(fn, store_threshold=0.0)
+        graph.add_objects({i: f"tok{i} shared" for i in range(5)})
+        assert calls == 5 * 4 // 2  # each unordered pair exactly once
+
+    def test_prepare_runs_once_per_object(self):
+        fn = JaccardSimilarity()
+        prepares = 0
+        original = fn.prepare
+
+        def counting(payload):
+            nonlocal prepares
+            prepares += 1
+            return original(payload)
+
+        fn.prepare = counting
+        graph = SimilarityGraph(fn, store_threshold=0.0)
+        graph.add_objects({i: f"tok{i} shared" for i in range(6)})
+        assert prepares == 6
