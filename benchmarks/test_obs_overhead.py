@@ -1,0 +1,129 @@
+"""Telemetry-off overhead guard: the no-op recorder must be ~free.
+
+The `repro.obs` contract is *zero-cost-when-off*: with
+``StreamConfig(telemetry=None)`` (the default) every instrumented hot
+path pays exactly one guarded attribute lookup (``if obs.enabled:``)
+per call. This bench makes that a CI-gated number instead of a code
+comment:
+
+* measure the per-operation cost of a micro ingest loop through a
+  real (ephemeral, single-shard) :class:`ClusteringService` with
+  telemetry disabled;
+* measure the cost of one ``obs.enabled`` guard on the shared
+  :data:`~repro.obs.NULL_TELEMETRY` singleton, isolated in a tight
+  loop;
+* assert that a *generous* per-operation guard budget (far more checks
+  than the hot path actually performs) stays under 5% of the measured
+  per-operation ingest cost.
+
+Comparing a nanosecond-scale guard against a microsecond-scale op is
+robust to host noise in a way that differencing two wall-clock service
+runs is not — the two quantities are three orders of magnitude apart,
+so the assertion fails only if the no-op layer genuinely grows real
+work. Emits ``benchmarks/results/obs_overhead.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.clustering.objectives import DBIndexObjective
+from repro.core import DynamicC
+from repro.obs import NULL_TELEMETRY
+from repro.similarity.euclidean import EuclideanSimilarity
+from repro.similarity.graph import SimilarityGraph
+from repro.stream import ClusteringService, StreamConfig
+
+from conftest import RESULTS_DIR
+
+N_OPS = 600
+GUARD_LOOPS = 200_000
+#: Guards charged against one operation in the budget check. The real
+#: hot path performs ~4 (ingest guard, batch span, shard span, engine
+#: maintain guard) amortised over a whole batch; 16 is deliberately
+#: unfair to the telemetry layer.
+GUARDS_PER_OP = 16
+MAX_OVERHEAD_FRACTION = 0.05
+
+
+def _events(n: int, seed: int = 3):
+    rng = np.random.default_rng(seed)
+    return [
+        ("add", obj_id, np.array([rng.uniform(0, 20), rng.uniform(0, 20)]))
+        for obj_id in range(n)
+    ]
+
+
+def _factory():
+    return DynamicC(
+        SimilarityGraph(EuclideanSimilarity(scale=1.0), store_threshold=0.2),
+        DBIndexObjective(),
+        seed=0,
+    )
+
+
+def _micro_ingest_per_op_s() -> float:
+    """Per-operation wall cost of the telemetry-off ingest loop."""
+    # telemetry=None — the default — is the configuration under test.
+    service = ClusteringService(
+        _factory, StreamConfig(n_shards=1, batch_max_ops=64, train_rounds=2)
+    )
+    assert service.telemetry is NULL_TELEMETRY
+    events = _events(N_OPS)
+    start = time.perf_counter()
+    service.ingest(events)
+    service.flush()
+    wall = time.perf_counter() - start
+    return wall / N_OPS
+
+
+def _guard_cost_s() -> float:
+    """Cost of one ``if obs.enabled:`` check on the null recorder."""
+    obs = NULL_TELEMETRY
+    hits = 0
+    start = time.perf_counter()
+    for _ in range(GUARD_LOOPS):
+        if obs.enabled:
+            hits += 1
+    wall = time.perf_counter() - start
+    assert hits == 0
+    # Subtract the bare-loop baseline so only the guard itself counts.
+    start = time.perf_counter()
+    for _ in range(GUARD_LOOPS):
+        pass
+    baseline = time.perf_counter() - start
+    return max(0.0, wall - baseline) / GUARD_LOOPS
+
+
+def test_obs_noop_overhead(emit):
+    per_op = _micro_ingest_per_op_s()
+    guard = _guard_cost_s()
+    budget = guard * GUARDS_PER_OP
+    fraction = budget / per_op
+
+    report = {
+        "ops": N_OPS,
+        "ingest_per_op_us": per_op * 1e6,
+        "guard_ns": guard * 1e9,
+        "guards_per_op_budget": GUARDS_PER_OP,
+        "overhead_fraction": fraction,
+        "max_overhead_fraction": MAX_OVERHEAD_FRACTION,
+    }
+    emit(
+        "\n== telemetry-off overhead ==\n"
+        f"ingest per op: {per_op * 1e6:.1f} us; enabled-guard: "
+        f"{guard * 1e9:.1f} ns; budget ({GUARDS_PER_OP} guards/op): "
+        f"{fraction * 100:.4f}% (limit {MAX_OVERHEAD_FRACTION * 100:.0f}%)"
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "obs_overhead.json", "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    assert fraction < MAX_OVERHEAD_FRACTION, (
+        f"no-op telemetry guards cost {fraction * 100:.2f}% of an ingest "
+        f"op (limit {MAX_OVERHEAD_FRACTION * 100:.0f}%)"
+    )

@@ -11,6 +11,13 @@ table and ``benchmarks/results/replica_lag.json``.
 Correctness is asserted only loosely here (partition equality at the
 end — the hard invariants live in ``tests/test_replica.py``); absolute
 timings are machine-dependent and deliberately not gated.
+
+The run executes with telemetry ON (one shared recorder across
+primary, shipper and replicas), so alongside the lag JSON it uploads
+the full observability artefact set: ``replica_lag_metrics.json`` (the
+merged snapshot, span p50/p95/p99 included), ``replica_lag_metrics.prom``
+(Prometheus text exposition) and ``replica_lag_trace.json`` (Chrome
+trace — load at ui.perfetto.dev).
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from repro.core import DynamicC
 from repro.data.generators import generate_access
 from repro.data.workload import OperationMix, build_workload
 from repro.eval import render_table
+from repro.obs import Histogram, Telemetry, write_metrics_json, write_metrics_prometheus
 from repro.replica import ReplicatedClusteringService
 from repro.stream import StreamConfig
 
@@ -46,17 +54,21 @@ def test_replica_lag(emit, tmp_path):
     def factory():
         return DynamicC(dataset.graph(), DBIndexObjective(), seed=0)
 
+    telemetry = Telemetry()
     config = StreamConfig(
         n_shards=2,
         batch_max_ops=64,
         train_rounds=2,
         oplog_path=tmp_path / "primary" / "oplog.jsonl",
         checkpoint_dir=tmp_path / "primary" / "checkpoints",
+        telemetry=telemetry,
     )
     service = ReplicatedClusteringService(factory, config, max_segment_ops=256)
     for index in range(N_REPLICAS):
         service.add_replica(name=f"replica-{index}")
 
+    ingest_latency = Histogram()
+    sync_latency = Histogram()
     rows = []
     burst_size = (len(events) + BURSTS - 1) // BURSTS
     for burst in range(BURSTS):
@@ -66,11 +78,13 @@ def test_replica_lag(emit, tmp_path):
         ingest_start = time.perf_counter()
         service.ingest(chunk)
         ingest_s = time.perf_counter() - ingest_start
+        ingest_latency.record(ingest_s)
 
         behind = max(s["behind"] for s in service.shipper.stats())
         sync_start = time.perf_counter()
         applied = service.sync()
         sync_s = time.perf_counter() - sync_start
+        sync_latency.record(sync_s)
         rows.append(
             {
                 "burst": burst,
@@ -122,6 +136,10 @@ def test_replica_lag(emit, tmp_path):
                 "n_replicas": N_REPLICAS,
                 "events": len(events),
                 "bursts": rows,
+                "latency": {
+                    "ingest": ingest_latency.snapshot(),
+                    "sync": sync_latency.snapshot(),
+                },
                 "final": {
                     "primary_oplog_bytes": service.primary.stats()["oplog_bytes"],
                     "clusters": len(primary_partition),
@@ -132,6 +150,20 @@ def test_replica_lag(emit, tmp_path):
             indent=2,
         )
         handle.write("\n")
+
+    # The observability artefact set for CI upload: one merged snapshot
+    # (metrics + recent spans) over the whole primary→shipper→replica
+    # pipeline, its Prometheus exposition, and the Chrome trace.
+    merged = service.stats()
+    write_metrics_json(RESULTS_DIR / "replica_lag_metrics.json", merged)
+    write_metrics_prometheus(RESULTS_DIR / "replica_lag_metrics.prom", merged)
+    telemetry.write_chrome_trace(RESULTS_DIR / "replica_lag_trace.json")
+    span_names = {
+        name.split("=", 1)[1]
+        for name in merged["primary"]["telemetry"]["metrics"]["span_seconds"]
+    }
+    # The shared recorder really did see every pipeline stage.
+    assert {"stream.ingest", "shard.apply", "ship.publish", "replica.poll"} <= span_names
 
     # Sanity floors only — the trajectory lives in the JSON artefact.
     assert all(r["catchup_ops_per_s"] > 0 for r in rows)

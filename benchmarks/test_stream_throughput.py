@@ -76,6 +76,12 @@ def _run(factory, events, n_shards: int, router: str) -> dict:
         "events_per_s_wall": len(events) / wall,
         "events_per_s_busy": stats["throughput_events_per_s"],
         "batches": stats["batches_applied"],
+        # Percentiles ride along free now that LatencyStat is
+        # histogram-backed: p50/p95/p99 of per-batch apply latency.
+        "batch_latency": stats["batch_latency"],
+        "round_latency": [
+            shard["round_latency"] for shard in stats["shards"]
+        ],
         "clusters": stats["num_clusters"],
         "objects": stats["num_objects"],
         "shard_objects": [shard["objects"] for shard in stats["shards"]],
@@ -106,7 +112,10 @@ def test_stream_throughput(emit):
 
     emit(
         render_table(
-            ["router", "shards", "events", "wall s", "ev/s (wall)", "ev/s (busy)", "clusters"],
+            [
+                "router", "shards", "events", "wall s", "ev/s (wall)",
+                "ev/s (busy)", "batch p95 ms", "clusters",
+            ],
             [
                 [
                     r["router"],
@@ -115,6 +124,7 @@ def test_stream_throughput(emit):
                     r["wall_s"],
                     r["events_per_s_wall"],
                     r["events_per_s_busy"],
+                    r["batch_latency"]["p95_s"] * 1e3,
                     r["clusters"],
                 ]
                 for r in results + hash_results

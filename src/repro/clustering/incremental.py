@@ -14,6 +14,7 @@ from abc import ABC, abstractmethod
 from typing import Any, Iterable, Mapping
 
 from repro.clustering.state import Clustering
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.similarity.graph import SimilarityGraph
 
 
@@ -21,6 +22,11 @@ class IncrementalClusterer(ABC):
     """A dynamic clustering method consuming rounds of data operations."""
 
     name: str = "incremental"
+
+    #: Observability recorder; the zero-cost no-op by default. The
+    #: service layer (:class:`repro.stream.shard.StreamShard`) replaces
+    #: it so engine round phases trace under the owning shard's spans.
+    obs = NULL_TELEMETRY
 
     def __init__(self, graph: SimilarityGraph) -> None:
         self.graph = graph
@@ -81,6 +87,23 @@ class IncrementalClusterer(ABC):
         Returns the set of object ids whose similarity relations changed
         (added and updated objects; removed ids are gone and excluded).
         """
+        obs = self.obs
+        if obs.enabled:
+            with obs.span(
+                "engine.maintain",
+                added=len(added),
+                updated=len(updated),
+            ):
+                return self._ingest_inner(added, removed, updated)
+        return self._ingest_inner(added, removed, updated)
+
+    def _ingest_inner(
+        self,
+        added: Mapping[int, Any],
+        removed: Iterable[int],
+        updated: Mapping[int, Any],
+    ) -> set[int]:
+        """Graph maintenance proper (see :meth:`_ingest`)."""
         changed: set[int] = set()
         # Removals first: their edges must still exist while the cluster
         # statistics are updated.

@@ -114,9 +114,14 @@ class DynamicC(IncrementalClusterer):
         updated: Mapping[int, Any] | None = None,
     ) -> tuple[Clustering, ObservationStats]:
         """One training round: batch re-clustering + evolution capture."""
+        obs = self.obs
         changed = self._ingest(added or {}, removed or (), updated or {})
         old = self.clustering.copy()
-        new = self.batch.cluster(self.graph)
+        if obs.enabled:
+            with obs.span("engine.hillclimb", objects=len(self.graph)):
+                new = self.batch.cluster(self.graph)
+        else:
+            new = self.batch.cluster(self.graph)
         samples = collect_round_samples(
             old,
             new.as_partition(),
@@ -204,6 +209,7 @@ class DynamicC(IncrementalClusterer):
                 "DynamicC is not trained; call observe_round() over the "
                 "training workload and then train()"
             )
+        obs = self.obs
         stats = RoundStats()
         active_objects: set[int] | None = None
         if self.config.candidate_scope == "affected":
@@ -227,9 +233,23 @@ class DynamicC(IncrementalClusterer):
                 candidates = self._frontier_clusters(touched)
             stats.candidates_scored += len(candidates)
 
-            merge_out = merge_algorithm(
-                self.clustering, self.objective, self.model, candidates, self.config
-            )
+            if obs.enabled:
+                with obs.span(
+                    "engine.merge",
+                    candidates=len(candidates),
+                    iteration=stats.iterations,
+                ):
+                    merge_out = merge_algorithm(
+                        self.clustering,
+                        self.objective,
+                        self.model,
+                        candidates,
+                        self.config,
+                    )
+            else:
+                merge_out = merge_algorithm(
+                    self.clustering, self.objective, self.model, candidates, self.config
+                )
             split_candidates = [
                 cid for cid in candidates if self.clustering.contains_cluster(cid)
             ]
@@ -238,13 +258,27 @@ class DynamicC(IncrementalClusterer):
                 for _, _, new_cid in merge_out.applied
                 if self.clustering.contains_cluster(new_cid)
             )
-            split_out = split_algorithm(
-                self.clustering,
-                self.objective,
-                self.model,
-                split_candidates,
-                self.config,
-            )
+            if obs.enabled:
+                with obs.span(
+                    "engine.split",
+                    candidates=len(split_candidates),
+                    iteration=stats.iterations,
+                ):
+                    split_out = split_algorithm(
+                        self.clustering,
+                        self.objective,
+                        self.model,
+                        split_candidates,
+                        self.config,
+                    )
+            else:
+                split_out = split_algorithm(
+                    self.clustering,
+                    self.objective,
+                    self.model,
+                    split_candidates,
+                    self.config,
+                )
             touched = set()
             for _, _, new_cid in merge_out.applied:
                 touched.add(new_cid)

@@ -1,0 +1,59 @@
+"""repro.obs — unified, dependency-free observability.
+
+Three layers, one import:
+
+* :mod:`repro.obs.metrics` — labeled :class:`Counter` / :class:`Gauge` /
+  log-bucketed :class:`Histogram` (streaming p50/p95/p99) primitives in
+  a composable :class:`MetricsRegistry`, with a Prometheus-style text
+  exposition, a generic snapshot→exposition flattener, and JSON
+  artifact writers;
+* :mod:`repro.obs.tracing` — the span API (``with tracer.span(...)``),
+  a bounded ring buffer of recent spans, and a Chrome-trace-event
+  (`chrome://tracing`) JSON exporter;
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` bundle services
+  thread through their layers (every span is a trace event *and* a
+  latency-histogram sample), plus the zero-cost :data:`NULL_TELEMETRY`
+  recorder selected when telemetry is off.
+
+Enable on a service with ``StreamConfig(telemetry="on")``; share one
+collection point across a primary/replica topology by passing the same
+:class:`Telemetry` instance to every config.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    snapshot_to_prometheus,
+    write_metrics_json,
+    write_metrics_prometheus,
+)
+from .telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    TELEMETRY_SETTINGS,
+    make_telemetry,
+)
+from .tracing import NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "NullTracer",
+    "Span",
+    "TELEMETRY_SETTINGS",
+    "Telemetry",
+    "Tracer",
+    "make_telemetry",
+    "snapshot_to_prometheus",
+    "write_metrics_json",
+    "write_metrics_prometheus",
+]

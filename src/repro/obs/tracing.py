@@ -1,0 +1,209 @@
+"""Pipeline tracing: lightweight spans with a Chrome-trace exporter.
+
+A :class:`Tracer` records *spans* — named, timed sections with optional
+labels — via ``with tracer.span("shard.apply", shard=i):``. Spans nest
+naturally (the tracer keeps a stack, so every completed span knows its
+depth and parent), land in a bounded ring buffer of recent spans, and
+export as Chrome trace-event JSON (`chrome://tracing` / Perfetto
+"traceEvents" with complete ``ph: "X"`` events), giving a zoomable
+timeline of one service run: ingest → route → batch → shard rounds →
+oplog fsync → checkpoint → shipping → replica catch-up.
+
+The tracer is single-process and synchronous by design — exactly the
+shape of the serving stack it instruments; the ``tid`` field in the
+export is the span's nesting depth's owner ("component" label when
+given), so primary and replica activity separate into rows.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Callable
+
+
+class Span:
+    """One completed (or in-flight) timed section."""
+
+    __slots__ = ("name", "args", "start", "end", "depth", "parent")
+
+    def __init__(self, name: str, args: dict[str, Any]) -> None:
+        self.name = name
+        self.args = args
+        self.start = 0.0
+        self.end = 0.0
+        self.depth = 0
+        self.parent: str | None = None
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start_s": self.start,
+            "duration_s": self.duration,
+            "depth": self.depth,
+            "parent": self.parent,
+            "args": dict(self.args),
+        }
+
+
+class _SpanContext:
+    """The ``with`` handle: times the section and reports to the tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        span = self._span
+        span.depth = len(tracer._stack)
+        span.parent = tracer._stack[-1].name if tracer._stack else None
+        tracer._stack.append(span)
+        span.start = tracer.clock()
+        return span
+
+    def __exit__(self, *exc) -> bool:
+        span = self._span
+        span.end = self._tracer.clock()
+        tracer = self._tracer
+        # Pop by identity: a crash (or a caller re-raising through
+        # several contexts) unwinds in reverse entry order, so the top
+        # of the stack is always this span.
+        if tracer._stack and tracer._stack[-1] is span:
+            tracer._stack.pop()
+        tracer._record(span)
+        return False
+
+
+class Tracer:
+    """Span recorder with a bounded ring buffer of completed spans.
+
+    Parameters
+    ----------
+    max_spans:
+        Ring-buffer capacity; the oldest completed spans are dropped
+        (and counted) once exceeded, so a long-running service traces
+        its recent past at bounded memory.
+    clock:
+        Monotonic time source (``time.perf_counter`` domain).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        max_spans: int = 8192,
+        clock: Callable[[], float] = time.perf_counter,
+        on_complete: Callable[[Span], None] | None = None,
+    ) -> None:
+        self.clock = clock
+        self.epoch = clock()
+        self.max_spans = max_spans
+        self.spans: deque[Span] = deque(maxlen=max_spans)
+        self.spans_recorded = 0
+        self._stack: list[Span] = []
+        self._on_complete = on_complete
+
+    def span(self, name: str, **args: Any) -> _SpanContext:
+        return _SpanContext(self, Span(name, args))
+
+    def _record(self, span: Span) -> None:
+        self.spans_recorded += 1
+        self.spans.append(span)
+        if self._on_complete is not None:
+            self._on_complete(span)
+
+    @property
+    def spans_dropped(self) -> int:
+        return max(0, self.spans_recorded - len(self.spans))
+
+    # ------------------------------------------------------------------
+    def recent(self, n: int = 50) -> list[dict]:
+        """The newest ``n`` completed spans, oldest first (for stats())."""
+        spans = list(self.spans)[-n:]
+        return [span.to_dict() for span in spans]
+
+    def to_chrome_trace(self) -> dict:
+        """The ring buffer as a Chrome trace-event JSON object.
+
+        Load the written file at ``chrome://tracing`` (or ui.perfetto.dev)
+        for a zoomable timeline. Timestamps are microseconds since the
+        tracer's epoch; nesting shows as stacked slices because complete
+        ("X") events on one track nest by time containment.
+        """
+        events = []
+        for span in sorted(self.spans, key=lambda s: s.start):
+            args = {key: _json_safe(value) for key, value in span.args.items()}
+            component = args.pop("component", "service")
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.name.split(".", 1)[0],
+                    "ph": "X",
+                    "ts": (span.start - self.epoch) * 1e6,
+                    "dur": span.duration * 1e6,
+                    "pid": 0,
+                    "tid": component,
+                    "args": args,
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome_trace(), handle)
+            handle.write("\n")
+
+    def snapshot(self) -> dict:
+        return {
+            "spans_recorded": self.spans_recorded,
+            "spans_dropped": self.spans_dropped,
+            "open_spans": [span.name for span in self._stack],
+            "recent_spans": self.recent(20),
+        }
+
+
+def _json_safe(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+class _NullSpanContext:
+    """Shared, allocation-free ``with`` target when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer:
+    """No-op recorder: every call is a constant-time shrug."""
+
+    enabled = False
+
+    def span(self, name: str, **args: Any) -> _NullSpanContext:
+        return NULL_SPAN
+
+    def recent(self, n: int = 50) -> list[dict]:
+        return []
+
+    def to_chrome_trace(self) -> dict:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def snapshot(self) -> dict:
+        return {"spans_recorded": 0, "spans_dropped": 0, "open_spans": [], "recent_spans": []}

@@ -33,8 +33,10 @@ re-syncs past it; only a gap no polled snapshot healed escapes.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Callable
 
+from repro.obs.telemetry import make_telemetry
 from repro.stream.checkpoint import open_checkpoints
 from repro.stream.service import ClusteringService, StreamConfig
 from repro.stream.shard import EngineFactory
@@ -87,12 +89,19 @@ class ReadReplica:
                 "with its own oplog; use bootstrap(), which stores the "
                 "snapshot in the replica's checkpoint_dir first (required)"
             )
+        # Resolve the recorder once and share the *instance* with the
+        # service (it survives the service replacements apply_snapshot
+        # and promote() perform, so one replica = one telemetry stream).
+        obs = make_telemetry(config.telemetry)
+        if obs.enabled:
+            config = replace(config, telemetry=obs)
         # The recover path does all the heavy lifting: restore the
         # newest snapshot, refuse divergent round-cut parameters,
         # replay the local log suffix.
-        self.service = ClusteringService.recover(
-            engine_factory, config, snapshot=snapshot
-        )
+        with obs.span("replica.bootstrap", component=name):
+            self.service = ClusteringService.recover(
+                engine_factory, config, snapshot=snapshot
+            )
         #: Last seq this replica holds (log content, markers included).
         self.received_seq = (
             self.service.oplog.last_seq
@@ -106,6 +115,17 @@ class ReadReplica:
         self.duplicates_dropped = 0
         self.snapshots_applied = 0
         self.snapshots_skipped = 0
+        # Process-local monotonic stamp of the last applied segment or
+        # snapshot; feeds the ``applied_age_s`` gauge. Unlike
+        # ``staleness_s`` (derived from the shipper's wall-clock
+        # ``shipped_at``), it cannot go negative or jump under clock
+        # skew between primary and replica hosts.
+        self._applied_mono: float | None = None
+
+    @property
+    def obs(self):
+        """The live service's telemetry recorder (tracks replacements)."""
+        return self.service.telemetry
 
     @classmethod
     def bootstrap(
@@ -163,25 +183,26 @@ class ReadReplica:
         :meth:`~repro.replica.shipper.LogShipper.resync`, whose
         artifacts the *next* poll consumes.
         """
-        applied = 0
-        gap: ReplicationGap | None = None
-        for artifact in self.transport.poll():
-            if isinstance(artifact, SnapshotArtifact):
-                before = self.received_seq
-                applied += self.apply_snapshot(artifact)
-                if self.received_seq > before:
-                    gap = None  # the restore jumped us past it
-                continue
-            try:
-                applied += self.apply_segment(artifact)
-            except ReplicationGap as exc:
-                # Segments consumed while a gap is open are lost, but
-                # they were unusable anyway; resync re-ships the whole
-                # suffix after the snapshot, so nothing is skipped.
-                gap = exc
-        if gap is not None:
-            raise gap
-        return applied
+        with self.obs.span("replica.poll", component=self.name):
+            applied = 0
+            gap: ReplicationGap | None = None
+            for artifact in self.transport.poll():
+                if isinstance(artifact, SnapshotArtifact):
+                    before = self.received_seq
+                    applied += self.apply_snapshot(artifact)
+                    if self.received_seq > before:
+                        gap = None  # the restore jumped us past it
+                    continue
+                try:
+                    applied += self.apply_segment(artifact)
+                except ReplicationGap as exc:
+                    # Segments consumed while a gap is open are lost, but
+                    # they were unusable anyway; resync re-ships the whole
+                    # suffix after the snapshot, so nothing is skipped.
+                    gap = exc
+            if gap is not None:
+                raise gap
+            return applied
 
     def apply_segment(self, segment: LogSegment) -> int:
         """Persist and apply one shipped segment; returns ops applied."""
@@ -203,12 +224,16 @@ class ReadReplica:
         # A partial redelivery (e.g. a segment cut just after a snapshot
         # restore) contributes only its unseen suffix.
         operations = segment.operations[self.received_seq - segment.first_seq + 1 :]
-        if self.service.oplog is not None:
-            # Hard state first (the WAL rule), then derived state.
-            self.service.oplog.append_stamped(operations)
-        self.service.apply_logged(operations, expect_after=self.received_seq)
+        with self.obs.span(
+            "replica.segment.apply", component=self.name, ops=len(operations)
+        ):
+            if self.service.oplog is not None:
+                # Hard state first (the WAL rule), then derived state.
+                self.service.oplog.append_stamped(operations)
+            self.service.apply_logged(operations, expect_after=self.received_seq)
         self.received_seq = segment.last_seq
         self.segments_applied += 1
+        self._applied_mono = time.monotonic()
         return len(operations)
 
     def apply_snapshot(self, artifact: SnapshotArtifact) -> int:
@@ -251,24 +276,30 @@ class ReadReplica:
                     "round-cut parameters"
                 )
         factory = self.service._engine_factory
-        if self.service.checkpoints is not None:
-            # Own the snapshot locally, then recover from the store —
-            # the exact restart path, so a crash right after this poll
-            # comes back to the same state.
-            self.service.checkpoints.save(dict(artifact.state))
-            self.service.close()
-            self.service = ClusteringService.recover(factory, config)
-        else:
-            self.service.close()
-            self.service = ClusteringService.recover(
-                factory, config, snapshot=artifact.state
-            )
-        if self.service.oplog is not None:
-            # The local log's pre-snapshot content is now covered (and
-            # disconnected from future appends); drop it.
-            self.service.oplog.truncate_through(artifact.applied_seq)
+        with self.obs.span(
+            "replica.snapshot.apply",
+            component=self.name,
+            applied_seq=artifact.applied_seq,
+        ):
+            if self.service.checkpoints is not None:
+                # Own the snapshot locally, then recover from the store —
+                # the exact restart path, so a crash right after this poll
+                # comes back to the same state.
+                self.service.checkpoints.save(dict(artifact.state))
+                self.service.close()
+                self.service = ClusteringService.recover(factory, config)
+            else:
+                self.service.close()
+                self.service = ClusteringService.recover(
+                    factory, config, snapshot=artifact.state
+                )
+            if self.service.oplog is not None:
+                # The local log's pre-snapshot content is now covered (and
+                # disconnected from future appends); drop it.
+                self.service.oplog.truncate_through(artifact.applied_seq)
         self.received_seq = artifact.applied_seq
         self.snapshots_applied += 1
+        self._applied_mono = time.monotonic()
         return 0
 
     def lag(self) -> dict:
@@ -277,7 +308,13 @@ class ReadReplica:
         ``seq_delta`` is in operations (primary's last committed seq
         minus the last seq received here); ``staleness_s`` is the
         wall-clock age of the last heard segment/heartbeat, ``None``
-        until first contact.
+        until first contact. ``staleness_s`` compares this host's clock
+        against the shipper's ``shipped_at`` stamp, so it is clamped to
+        ``>= 0`` — skewed clocks must not report answers from the
+        future. ``applied_age_s`` is the skew-immune companion: seconds
+        since this process last applied a segment or snapshot, measured
+        entirely on the replica's own monotonic clock (``None`` until
+        something has been applied).
         """
         return {
             "name": self.name,
@@ -288,6 +325,11 @@ class ReadReplica:
             "staleness_s": (
                 max(0.0, self.clock() - self.last_heard_at)
                 if self.last_heard_at is not None
+                else None
+            ),
+            "applied_age_s": (
+                time.monotonic() - self._applied_mono
+                if self._applied_mono is not None
                 else None
             ),
         }

@@ -70,6 +70,11 @@ class ReplicatedClusteringService:
         self.clock = clock
         self.max_segment_ops = max_segment_ops
         self.primary = ClusteringService(engine_factory, config)
+        #: The topology's single telemetry collection point: the
+        #: primary's recorder, shared with the shipper and (by default)
+        #: every attached replica, so one ``snapshot()`` covers the
+        #: whole primary → shipper → replica pipeline.
+        self.telemetry = self.primary.telemetry
         self.shipper = self._build_shipper()
         self.replicas: list[ReadReplica] = []
         self._reader = 0
@@ -80,6 +85,7 @@ class ReplicatedClusteringService:
             snapshots=self._latest_snapshot,
             max_segment_ops=self.max_segment_ops,
             clock=self.clock,
+            obs=self.telemetry,
         )
 
     def _latest_snapshot(self) -> dict | None:
@@ -111,8 +117,16 @@ class ReplicatedClusteringService:
         name = name or f"replica-{len(self.replicas)}"
         transport = transport or InProcessTransport()
         if config is None:
+            # The telemetry *instance* rides along so the replica's
+            # spans land in the topology's shared collection point
+            # (when telemetry is off this is the no-op singleton, which
+            # passes through make_telemetry unchanged).
             config = replace(
-                self.primary.config, oplog_path=None, checkpoint_dir=None, fsync=False
+                self.primary.config,
+                oplog_path=None,
+                checkpoint_dir=None,
+                fsync=False,
+                telemetry=self.telemetry,
             )
         elif config.round_cut_params() != self.primary.config.round_cut_params():
             raise ValueError(
@@ -315,6 +329,9 @@ class ReplicatedClusteringService:
         self.primary = chosen.promote()
         old_primary.close()
         chosen.transport.close()
+        # The new primary's recorder becomes the collection point (the
+        # same instance when the promoted follower shared it).
+        self.telemetry = self.primary.telemetry
         self.shipper = self._build_shipper()
         for replica in self.replicas:
             self.shipper.attach(replica.transport, from_seq=replica.received_seq)

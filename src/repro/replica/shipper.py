@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.stream.oplog import LogBackend
 
 from .segment import LogSegment, ReplicationGap, SnapshotArtifact
@@ -76,6 +77,7 @@ class LogShipper:
         snapshots: Callable[[], dict | None] | None = None,
         max_segment_ops: int = 512,
         clock: Callable[[], float] = time.time,
+        obs=NULL_TELEMETRY,
     ) -> None:
         if max_segment_ops < 1:
             raise ValueError("max_segment_ops must be >= 1")
@@ -83,6 +85,9 @@ class LogShipper:
         self.snapshots = snapshots
         self.max_segment_ops = max_segment_ops
         self.clock = clock
+        #: Observability recorder (shared with the owning topology so
+        #: shipping latencies land in the merged snapshot).
+        self.obs = obs
         self._subscriptions: list[_Subscription] = []
 
     def attach(self, transport: Transport, from_seq: int = 0) -> None:
@@ -152,9 +157,10 @@ class LogShipper:
                 continue  # re-walk the log from the snapshot's position
             break
         if published == 0 and heartbeat:
-            sub.transport.publish(
-                LogSegment.heartbeat(sub.shipped_seq, primary_seq, now)
-            )
+            with self.obs.span("ship.publish", kind="heartbeat"):
+                sub.transport.publish(
+                    LogSegment.heartbeat(sub.shipped_seq, primary_seq, now)
+                )
             published += 1
         return published
 
@@ -168,7 +174,8 @@ class LogShipper:
             primary_seq=primary_seq,
             shipped_at=now,
         )
-        sub.transport.publish(segment)
+        with self.obs.span("ship.publish", kind="segment", ops=len(segment)):
+            sub.transport.publish(segment)
         sub.shipped_seq = segment.last_seq
         sub.segments_shipped += 1
         sub.ops_shipped += len(segment)
@@ -187,11 +194,14 @@ class LogShipper:
         if state is not None:
             applied_seq = int(state["applied_seq"])
             if applied_seq > sub.shipped_seq and applied_seq >= oldest_shippable - 1:
-                sub.transport.publish(
-                    SnapshotArtifact.from_state(
-                        state, primary_seq=self.log.last_seq, shipped_at=now
+                with self.obs.span(
+                    "ship.publish", kind="snapshot", applied_seq=applied_seq
+                ):
+                    sub.transport.publish(
+                        SnapshotArtifact.from_state(
+                            state, primary_seq=self.log.last_seq, shipped_at=now
+                        )
                     )
-                )
                 sub.shipped_seq = applied_seq
                 sub.snapshots_shipped += 1
                 return 1

@@ -174,6 +174,17 @@ class MicroBatcher:
             and self.clock() - self._arrivals[0] >= self.max_age
         )
 
+    def oldest_age(self) -> float:
+        """Seconds the oldest pending operation has waited (0.0 if none).
+
+        The queueing-delay face of the age budget: surfaced as the
+        ``pending_oldest_age_s`` gauge so operators can see buffered
+        operations aging toward (or past) ``max_age``.
+        """
+        if not self._arrivals:
+            return 0.0
+        return max(0.0, self.clock() - self._arrivals[0])
+
     def next_batch(self) -> list[Operation]:
         """Pop the next round's raw operations (up to ``max_ops``)."""
         batch = self._pending[: self.max_ops]

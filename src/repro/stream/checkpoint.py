@@ -20,6 +20,8 @@ import os
 import pathlib
 import re
 
+from repro.obs.telemetry import NULL_TELEMETRY
+
 _NAME = re.compile(r"^checkpoint-(\d+)\.json$")
 
 
@@ -42,6 +44,11 @@ class CheckpointStore:
     """
 
     keep: int
+
+    #: Observability recorder; the zero-cost no-op by default. The
+    #: owning service replaces it so save/load latencies land in the
+    #: shared telemetry snapshot.
+    obs = NULL_TELEMETRY
 
     def save(self, state: dict) -> pathlib.Path:
         """Durably store a snapshot; returns its backing path."""

@@ -6,33 +6,22 @@ the engine's own :class:`~repro.core.dynamicc.RoundStats` counters
 (merges, splits, verifications…) are accumulated alongside. A
 :meth:`MetricsRegistry.snapshot` is a plain dict, ready for a JSON
 endpoint or a benchmark artefact.
+
+Latency series are :class:`repro.obs.Histogram`-backed, so every
+``*_latency`` entry in a snapshot carries streaming p50/p95/p99
+alongside the mean — percentiles are what SLO-aware batching and the
+tuning work consume; means alone hide the tail.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import Histogram
 
-@dataclass
-class LatencyStat:
-    """Streaming summary of a latency series (seconds)."""
 
-    count: int = 0
-    total: float = 0.0
-    minimum: float = float("inf")
-    maximum: float = 0.0
-    last: float = 0.0
-
-    def record(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        self.minimum = min(self.minimum, value)
-        self.maximum = max(self.maximum, value)
-        self.last = value
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+class LatencyStat(Histogram):
+    """Streaming summary of a latency series in seconds (with percentiles)."""
 
     def to_dict(self) -> dict:
         return {
@@ -42,6 +31,9 @@ class LatencyStat:
             "min_s": self.minimum if self.count else 0.0,
             "max_s": self.maximum,
             "last_s": self.last,
+            "p50_s": self.percentile(0.50),
+            "p95_s": self.percentile(0.95),
+            "p99_s": self.percentile(0.99),
         }
 
 

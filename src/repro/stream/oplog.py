@@ -31,6 +31,8 @@ import os
 import pathlib
 from typing import Iterator, Sequence
 
+from repro.obs.telemetry import NULL_TELEMETRY
+
 from .events import Operation
 
 
@@ -45,6 +47,11 @@ class LogBackend:
 
     #: Sequence number of the last durable record (0 when empty).
     last_seq: int
+
+    #: Observability recorder; the zero-cost no-op by default. The
+    #: owning service replaces it so append/fsync latencies land in the
+    #: shared telemetry snapshot.
+    obs = NULL_TELEMETRY
 
     def append(self, operations: Sequence[Operation]) -> list[Operation]:
         """Assign sequence numbers and durably append; returns stamped ops.
@@ -170,6 +177,15 @@ class OperationLog(LogBackend):
     # ------------------------------------------------------------------
     def _write_lines(self, lines: list[str]) -> None:
         if not lines:
+            return
+        obs = self.obs
+        if obs.enabled:
+            with obs.span("oplog.append", records=len(lines)):
+                self._handle.write("\n".join(lines) + "\n")
+                self._handle.flush()
+                if self.fsync:
+                    with obs.span("oplog.fsync"):
+                        os.fsync(self._handle.fileno())
             return
         self._handle.write("\n".join(lines) + "\n")
         self._handle.flush()

@@ -89,6 +89,10 @@ class Router:
     def rebuild(self, shard_object_ids: Iterable[Iterable[int]]) -> None:
         """Re-learn placements from restored shard engines (recovery)."""
 
+    def stats(self) -> dict:
+        """Telemetry face of the policy (extended by stateful routers)."""
+        return {"policy": self.name, "n_shards": self.n_shards}
+
     # ------------------------------------------------------------------
     def partition(self, operations: Sequence[Operation]) -> dict[int, list[Operation]]:
         """Split a batch into per-shard operation slices (stream order).
@@ -153,6 +157,14 @@ class LeastLoadedRouter(Router):
     def loads(self) -> list[int]:
         """Current per-shard object counts (live + pending)."""
         return list(self._load)
+
+    def stats(self) -> dict:
+        base = super().stats()
+        loads = self.loads()
+        base["chunk"] = self.chunk
+        base["loads"] = loads
+        base["load_imbalance"] = (max(loads) - min(loads)) if loads else 0
+        return base
 
     def shard_of(self, obj_id: int) -> int:
         assigned = self._assignment.get(obj_id)

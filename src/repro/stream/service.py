@@ -32,6 +32,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
+from repro.obs.telemetry import TELEMETRY_SETTINGS, make_telemetry
+
 from .batching import MicroBatcher, RoundOps
 from .checkpoint import CHECKPOINT_BACKENDS, open_checkpoints
 from .events import FLUSH, Operation
@@ -96,6 +98,16 @@ class StreamConfig:
         Retained snapshot count.
     compact_on_checkpoint:
         Drop the oplog prefix a fresh checkpoint covers.
+    telemetry:
+        Observability recorder selection: ``None``/``"off"`` (default)
+        runs the zero-cost no-op recorder — the hot path pays one
+        guarded attribute lookup; ``"on"`` collects span latencies
+        (p50/p95/p99 per instrumented site) and a Chrome-trace ring
+        buffer into a fresh :class:`repro.obs.Telemetry`; passing a
+        :class:`repro.obs.Telemetry` *instance* shares one collection
+        point across services (primary + replicas + shipper), which is
+        how :class:`~repro.replica.ReplicatedClusteringService` merges
+        the whole topology into a single snapshot.
     """
 
     n_shards: int = 2
@@ -110,8 +122,16 @@ class StreamConfig:
     fsync: bool = False
     keep_checkpoints: int = 3
     compact_on_checkpoint: bool = True
+    telemetry: Any = None
 
     def __post_init__(self) -> None:
+        if self.telemetry not in TELEMETRY_SETTINGS and not hasattr(
+            self.telemetry, "enabled"
+        ):
+            raise ValueError(
+                f"telemetry must be one of {TELEMETRY_SETTINGS} or a "
+                f"Telemetry instance, got {self.telemetry!r}"
+            )
         if self.n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         if self.train_rounds < 1:
@@ -162,13 +182,19 @@ class ClusteringService:
     def __init__(self, engine_factory: EngineFactory, config: StreamConfig | None = None) -> None:
         self.config = config or StreamConfig()
         self._engine_factory = engine_factory
+        #: The observability recorder every layer reports into; the
+        #: zero-cost no-op singleton unless ``config.telemetry`` says
+        #: otherwise.
+        self.telemetry = make_telemetry(self.config.telemetry)
         # Placement blocks align with the micro-batch budget so one
         # batch of new objects is (mostly) one engine's round.
         self.router = make_router(
             self.config.router, self.config.n_shards, chunk=self.config.batch_max_ops
         )
         self.shards = [
-            StreamShard(index, engine_factory, self.config.train_rounds)
+            StreamShard(
+                index, engine_factory, self.config.train_rounds, obs=self.telemetry
+            )
             for index in range(self.config.n_shards)
         ]
         self.membership = MembershipTable()
@@ -185,6 +211,8 @@ class ClusteringService:
             if self.config.oplog_path is not None
             else None
         )
+        if self.oplog is not None:
+            self.oplog.obs = self.telemetry
         self.checkpoints = (
             open_checkpoints(
                 self.config.checkpoint_dir,
@@ -194,6 +222,8 @@ class ClusteringService:
             if self.config.checkpoint_dir is not None
             else None
         )
+        if self.checkpoints is not None:
+            self.checkpoints.obs = self.telemetry
         #: Sequence number of the last operation applied to a shard.
         self.applied_seq = 0
         #: True once any applied operation carried a routing stamp.
@@ -235,17 +265,39 @@ class ClusteringService:
                 "operations for already-placed objects to the wrong shard "
                 "— recover/promote with router='least-loaded' instead"
             )
-        # Placement is decided here — before logging — so the stamped
-        # assignment is durable and replays/ships verbatim.
-        ops = self.router.assign(ops)
-        if self.oplog is not None:
-            ops = self.oplog.append(ops)
-        else:
-            ops = [op.with_seq(self._next_seq + offset) for offset, op in enumerate(ops)]
-            self._next_seq += len(ops)
-        self.metrics.events_ingested += len(ops)
-        self.batcher.extend(ops)
-        self._apply_ready()
+        obs = self.telemetry
+        if not obs.enabled:
+            # The undecorated hot path: telemetry off costs exactly this
+            # one attribute check per ingest call.
+            ops = self.router.assign(ops)
+            if self.oplog is not None:
+                ops = self.oplog.append(ops)
+            else:
+                ops = [
+                    op.with_seq(self._next_seq + offset)
+                    for offset, op in enumerate(ops)
+                ]
+                self._next_seq += len(ops)
+            self.metrics.events_ingested += len(ops)
+            self.batcher.extend(ops)
+            self._apply_ready()
+            return len(ops)
+        with obs.span("stream.ingest", ops=len(ops)):
+            # Placement is decided here — before logging — so the stamped
+            # assignment is durable and replays/ships verbatim.
+            with obs.span("stream.route", ops=len(ops)):
+                ops = self.router.assign(ops)
+            if self.oplog is not None:
+                ops = self.oplog.append(ops)
+            else:
+                ops = [
+                    op.with_seq(self._next_seq + offset)
+                    for offset, op in enumerate(ops)
+                ]
+                self._next_seq += len(ops)
+            self.metrics.events_ingested += len(ops)
+            self.batcher.extend(ops)
+            self._apply_ready()
         return len(ops)
 
     def flush(self) -> None:
@@ -273,6 +325,12 @@ class ClusteringService:
             self._apply_batch(self.batcher.next_batch())
 
     def _apply_batch(self, batch: list[Operation]) -> None:
+        obs = self.telemetry
+        with obs.span("stream.batch.apply", ops=len(batch)):
+            self._apply_batch_inner(batch)
+
+    def _apply_batch_inner(self, batch: list[Operation]) -> None:
+        obs = self.telemetry
         start = time.perf_counter()
         if not self.placements_stamped and any(
             op.shard is not None for op in batch
@@ -281,7 +339,13 @@ class ClusteringService:
         for shard_index, slice_ops in sorted(self.router.partition(batch).items()):
             shard = self.shards[shard_index]
             round_ops = RoundOps.fold(slice_ops).normalized(shard.is_live)
-            phase, latency, stats = shard.apply(round_ops)
+            if obs.enabled:
+                with obs.span(
+                    "shard.apply", shard=shard_index, ops=len(round_ops)
+                ):
+                    phase, latency, stats = shard.apply(round_ops)
+            else:
+                phase, latency, stats = shard.apply(round_ops)
             if phase != "skip":
                 self.metrics.shard(shard_index).record_round(
                     phase, len(round_ops), round_ops.ignored, latency, stats
@@ -339,9 +403,11 @@ class ClusteringService:
         snapshot = self.metrics.snapshot()
         snapshot.update(
             router=self.config.router,
+            routing=self.router.stats(),
             applied_seq=self.applied_seq,
             last_seq=self.oplog.last_seq if self.oplog is not None else self._next_seq - 1,
             pending_ops=len(self.batcher),
+            pending_oldest_age_s=self.batcher.oldest_age(),
             num_objects=len(self.membership),
             num_clusters=sum(shard.num_clusters() for shard in self.shards),
             oplog_bytes=self.oplog.size_bytes() if self.oplog is not None else 0,
@@ -356,6 +422,7 @@ class ClusteringService:
                 trained=shard.trained,
                 last_applied_seq=shard.last_applied_seq,
             )
+        snapshot["telemetry"] = self.telemetry.snapshot()
         return snapshot
 
     def apply_logged(
@@ -427,7 +494,8 @@ class ClusteringService:
             "placements_stamped": self.placements_stamped,
             "shards": [shard.checkpoint_state() for shard in self.shards],
         }
-        path = self.checkpoints.save(state)
+        with self.telemetry.span("checkpoint.save", applied_seq=self.applied_seq):
+            path = self.checkpoints.save(state)
         if self.oplog is not None and self.config.compact_on_checkpoint:
             # Compact only past the *oldest retained* snapshot, not the
             # newest: falling back to an older checkpoint (e.g. when the
@@ -458,7 +526,8 @@ class ClusteringService:
         service = cls(engine_factory, config)
         state = snapshot
         if state is None and service.checkpoints is not None:
-            state = service.checkpoints.load_latest()
+            with service.telemetry.span("checkpoint.load"):
+                state = service.checkpoints.load_latest()
         if state is not None:
             for field_name, want in config.round_cut_params().items():
                 # Older checkpoints may predate a field; only a recorded
@@ -478,7 +547,12 @@ class ClusteringService:
                 )
             )
             service.shards = [
-                StreamShard.restore(shard_state, engine_factory, config.train_rounds)
+                StreamShard.restore(
+                    shard_state,
+                    engine_factory,
+                    config.train_rounds,
+                    obs=service.telemetry,
+                )
                 for shard_state in state["shards"]
             ]
             service.applied_seq = int(state["applied_seq"])
@@ -496,10 +570,13 @@ class ClusteringService:
                     service.oplog.last_seq, service.applied_seq
                 )
         if service.oplog is not None:
-            service.apply_logged(
-                service.oplog.replay(after_seq=service.applied_seq),
-                expect_after=service.applied_seq,
-            )
+            with service.telemetry.span(
+                "recover.replay", after_seq=service.applied_seq
+            ):
+                service.apply_logged(
+                    service.oplog.replay(after_seq=service.applied_seq),
+                    expect_after=service.applied_seq,
+                )
         service.metrics.recoveries += 1
         return service
 

@@ -16,6 +16,7 @@ import time
 from typing import Any, Callable, Iterator
 
 from repro.core.dynamicc import DynamicC, RoundStats
+from repro.obs.telemetry import NULL_TELEMETRY
 
 from .batching import RoundOps
 from .events import encode_payload, decode_payload
@@ -26,10 +27,22 @@ EngineFactory = Callable[[], DynamicC]
 class StreamShard:
     """A single DynamicC engine driven by folded stream rounds."""
 
-    def __init__(self, index: int, engine_factory: EngineFactory, train_rounds: int) -> None:
+    def __init__(
+        self,
+        index: int,
+        engine_factory: EngineFactory,
+        train_rounds: int,
+        obs=NULL_TELEMETRY,
+    ) -> None:
         self.index = index
         self.engine = engine_factory()
         self.train_rounds = train_rounds
+        #: The service's telemetry recorder, shared with the engine so
+        #: round phases (graph maintenance, candidate scoring, merge/
+        #: split passes) trace under this shard's rounds.
+        self.obs = obs
+        if self.engine is not None:  # tests stub factories with None
+            self.engine.obs = obs
         self.rounds_seen = 0
         self.trained = False
         #: Highest oplog seq in any round routed to this shard (set by
@@ -56,7 +69,8 @@ class StreamShard:
             # evolution, hence no positives and no sampled negatives);
             # keep observing until there is something to fit.
             if self.rounds_seen >= self.train_rounds and len(self.engine.buffer):
-                self.engine.train()
+                with self.obs.span("engine.train", shard=self.index):
+                    self.engine.train()
                 self.trained = True
         else:
             self.engine.apply_round(
@@ -117,10 +131,14 @@ class StreamShard:
 
     @classmethod
     def restore(
-        cls, state: dict, engine_factory: EngineFactory, train_rounds: int
+        cls,
+        state: dict,
+        engine_factory: EngineFactory,
+        train_rounds: int,
+        obs=NULL_TELEMETRY,
     ) -> "StreamShard":
         """Rebuild a shard from a :meth:`checkpoint_state` snapshot."""
-        shard = cls(int(state["index"]), engine_factory, train_rounds)
+        shard = cls(int(state["index"]), engine_factory, train_rounds, obs=obs)
         shard.rounds_seen = int(state["rounds_seen"])
         shard.trained = bool(state["trained"])
         # Absent in pre-replication checkpoints.

@@ -84,6 +84,19 @@ class SqliteOperationLog(LogBackend):
     def _insert(self, rows: list[tuple[int, str]]) -> None:
         if not rows:
             return
+        obs = self.obs
+        if obs.enabled:
+            # The COMMIT is where sqlite pays its durability cost (the
+            # fsync analogue under synchronous=FULL), so it gets its own
+            # span like the JSONL backend's oplog.fsync.
+            with obs.span("oplog.append", records=len(rows)):
+                self._conn.execute("BEGIN")
+                self._conn.executemany(
+                    "INSERT INTO oplog (seq, record) VALUES (?, ?)", rows
+                )
+                with obs.span("oplog.fsync"):
+                    self._conn.execute("COMMIT")
+            return
         self._conn.execute("BEGIN")
         self._conn.executemany("INSERT INTO oplog (seq, record) VALUES (?, ?)", rows)
         self._conn.execute("COMMIT")

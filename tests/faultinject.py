@@ -49,6 +49,14 @@ class FaultInjector:
         ``None`` intercepts and records without crashing — the dry run
         that enumerates a scenario's crash points.
 
+    obs:
+        Optional :class:`repro.obs.Telemetry` recorder. When given,
+        every intercepted op increments a
+        ``faultinject_ops_total{kind=...}`` counter and an injected
+        crash increments ``faultinject_crashes_total{kind=...}`` — so a
+        fault-harness run's telemetry snapshot shows which durability
+        boundaries the sweep actually exercised.
+
     Attributes
     ----------
     trace:
@@ -58,8 +66,9 @@ class FaultInjector:
 
     _TARGETS = ("replace", "rename", "fsync")
 
-    def __init__(self, crash_at: int | None = None) -> None:
+    def __init__(self, crash_at: int | None = None, obs=None) -> None:
         self.crash_at = crash_at
+        self.obs = obs
         self.trace: list[tuple[str, str]] = []
         self._originals: dict = {}
 
@@ -77,7 +86,15 @@ class FaultInjector:
     def _wrap(self, kind: str, original):
         def intercepted(*args, **kwargs):
             self.trace.append((kind, str(args[0]) if args else ""))
+            if self.obs is not None and self.obs.enabled:
+                self.obs.counter("faultinject_ops_total", labels=("kind",)).labels(
+                    kind=kind
+                ).inc()
             if self.crash_at is not None and len(self.trace) == self.crash_at:
+                if self.obs is not None and self.obs.enabled:
+                    self.obs.counter(
+                        "faultinject_crashes_total", labels=("kind",)
+                    ).labels(kind=kind).inc()
                 raise InjectedCrash(
                     f"injected crash before {kind} #{len(self.trace)} "
                     f"({self.trace[-1][1]})"

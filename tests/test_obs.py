@@ -1,0 +1,483 @@
+"""Tests for `repro.obs`: metric primitives, tracing, the telemetry
+bundle, and the end-to-end acceptance invariant — one fault-harness run
+of the replicated topology produces a single merged snapshot covering
+every pipeline stage with p50/p95/p99 on every latency series, plus a
+loadable Chrome trace."""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.clustering.objectives import DBIndexObjective
+from repro.core import DynamicC
+from repro.data.generators import generate_access
+from repro.data.workload import OperationMix, build_workload
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    Tracer,
+    make_telemetry,
+    snapshot_to_prometheus,
+    write_metrics_json,
+    write_metrics_prometheus,
+)
+from repro.obs.tracing import NULL_SPAN
+from repro.replica import ReplicatedClusteringService
+from repro.stream import ClusteringService, StreamConfig
+
+from faultinject import FaultInjector
+
+
+# ---------------------------------------------------------------------------
+# Metric primitives
+# ---------------------------------------------------------------------------
+class TestCounterGauge:
+    def test_counter_monotonic(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.snapshot() == 5
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(3.5)
+        gauge.inc(1.5)
+        gauge.dec(2.0)
+        assert gauge.snapshot() == 3.0
+
+
+class TestHistogram:
+    @pytest.mark.parametrize("distribution", ("uniform", "lognormal", "bimodal"))
+    def test_percentiles_track_sorted_sample_quantiles(self, distribution):
+        """Streaming estimates stay within the log-bucket error bound.
+
+        The documented contract: relative error ≤ ``growth - 1`` (5% at
+        the default), except where the estimate is clamped to the exact
+        observed min/max. Checked against nearest-rank quantiles of the
+        fully sorted sample across distribution shapes latency series
+        actually take.
+        """
+        rng = random.Random(hash(distribution) & 0xFFFF)
+        if distribution == "uniform":
+            samples = [rng.uniform(1e-4, 1e-1) for _ in range(3000)]
+        elif distribution == "lognormal":
+            samples = [rng.lognormvariate(-7, 1.5) for _ in range(3000)]
+        else:  # fast mode + slow tail, the classic latency shape
+            samples = [
+                rng.uniform(1e-5, 3e-5) if rng.random() < 0.9
+                else rng.uniform(1e-2, 5e-2)
+                for _ in range(3000)
+            ]
+        histogram = Histogram()
+        for value in samples:
+            histogram.record(value)
+        ordered = sorted(samples)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            exact = ordered[max(0, math.ceil(q * len(ordered)) - 1)]
+            estimate = histogram.percentile(q)
+            # One-sided bucket rounding both ways plus nearest-rank
+            # granularity: allow slightly over the nominal bound.
+            assert estimate == pytest.approx(exact, rel=(histogram.growth - 1) * 1.5)
+
+    def test_estimates_clamped_to_observed_range(self):
+        histogram = Histogram()
+        histogram.record(1.0)
+        histogram.record(2.0)
+        assert histogram.percentile(0.0) >= 1.0
+        assert histogram.percentile(1.0) <= 2.0
+        snap = histogram.snapshot()
+        assert snap["min"] == 1.0 and snap["max"] == 2.0
+
+    def test_aggregates_and_empty_behaviour(self):
+        histogram = Histogram()
+        assert histogram.percentile(0.5) == 0.0
+        assert histogram.mean == 0.0
+        assert histogram.snapshot()["min"] == 0.0
+        for value in (0.1, 0.2, 0.3):
+            histogram.record(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 3
+        assert snap["total"] == pytest.approx(0.6)
+        assert snap["mean"] == pytest.approx(0.2)
+        assert snap["last"] == 0.3
+        assert set(snap) >= {"p50", "p95", "p99"}
+
+    def test_subfloor_values_share_the_underflow_bucket(self):
+        histogram = Histogram(floor=1e-9)
+        histogram.record(0.0)
+        histogram.record(1e-12)
+        assert histogram.percentile(0.5) <= 1e-9
+        assert histogram.count == 2
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="growth"):
+            Histogram(growth=1.0)
+        with pytest.raises(ValueError, match="quantile"):
+            Histogram().percentile(1.5)
+
+
+class TestLabelsAndRegistry:
+    def test_family_aggregates_by_label_values(self):
+        family = MetricFamily("ops", "counter", ("kind", "shard"))
+        family.labels(kind="add", shard=0).inc(3)
+        family.labels(shard=0, kind="add").inc(2)  # kwarg order irrelevant
+        family.labels(kind="add", shard=1).inc()
+        snap = family.snapshot()
+        assert snap == {"kind=add,shard=0": 5, "kind=add,shard=1": 1}
+
+    def test_family_rejects_wrong_label_set(self):
+        family = MetricFamily("ops", "counter", ("kind",))
+        with pytest.raises(ValueError, match="takes labels"):
+            family.labels(knid="typo")
+
+    def test_registry_get_or_create_and_shape_check(self):
+        registry = MetricsRegistry()
+        assert registry.counter("events") is registry.counter("events")
+        with pytest.raises(ValueError, match="different shape"):
+            registry.gauge("events")
+        with pytest.raises(ValueError, match="different shape"):
+            registry.counter("events", labels=("kind",))
+
+    def test_child_registries_nest_in_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(7)
+        registry.child("oplog").gauge("bytes").set(128)
+        snap = registry.snapshot()
+        assert snap["events"] == 7
+        assert snap["oplog"]["bytes"] == 128
+        assert registry.child("oplog") is registry.child("oplog")
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(2)
+        family = registry.histogram("latency", labels=("op",))
+        family.labels(op="apply").record(0.25)
+        registry.child("shipper").counter("segments").inc()
+        text = registry.to_prometheus(prefix="repro")
+        assert "# TYPE repro_events counter" in text
+        assert "repro_events 2" in text
+        assert "# TYPE repro_latency summary" in text
+        assert 'repro_latency{op="apply",quantile="0.5"}' in text
+        assert 'repro_latency_count{op="apply"} 1' in text
+        assert "repro_shipper_segments 1" in text
+
+    def test_snapshot_flattener_handles_service_shapes(self):
+        snapshot = {
+            "applied_seq": 42,
+            "fsync": True,
+            "router": "least-loaded",  # strings are skipped
+            "shards": [{"objects": 3}, {"objects": 5}],
+            "oplog": {"bytes": None},  # None is skipped
+        }
+        text = snapshot_to_prometheus(snapshot, prefix="repro")
+        assert "repro_applied_seq 42" in text
+        assert "repro_fsync 1" in text
+        assert 'repro_shards_objects{index="0"} 3' in text
+        assert 'repro_shards_objects{index="1"} 5' in text
+        assert "least-loaded" not in text and "None" not in text
+
+    def test_artifact_writers(self, tmp_path):
+        snapshot = {"events": 3, "latency": {"p50": 0.1}}
+        write_metrics_json(tmp_path / "m.json", snapshot)
+        write_metrics_prometheus(tmp_path / "m.prom", snapshot)
+        assert json.loads((tmp_path / "m.json").read_text()) == snapshot
+        assert "repro_latency_p50 0.1" in (tmp_path / "m.prom").read_text()
+
+
+# ---------------------------------------------------------------------------
+# Tracing
+# ---------------------------------------------------------------------------
+def make_tracer(**kwargs) -> Tracer:
+    """A tracer on a deterministic fake clock (1ms per reading)."""
+    ticks = iter(range(10_000))
+    return Tracer(clock=lambda: next(ticks) * 1e-3, **kwargs)
+
+
+class TestTracer:
+    def test_span_nesting_depth_and_parent(self):
+        tracer = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("leaf"):
+                    pass
+        by_name = {span.name: span for span in tracer.spans}
+        assert by_name["outer"].depth == 0 and by_name["outer"].parent is None
+        assert by_name["inner"].depth == 1 and by_name["inner"].parent == "outer"
+        assert by_name["leaf"].depth == 2 and by_name["leaf"].parent == "inner"
+        # Completion order is innermost-first; starts are outermost-first.
+        assert [span.name for span in tracer.spans] == ["leaf", "inner", "outer"]
+        assert tracer.snapshot()["open_spans"] == []
+
+    def test_exception_still_records_and_unwinds(self):
+        tracer = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert [span.name for span in tracer.spans] == ["inner", "outer"]
+        assert tracer.snapshot()["open_spans"] == []
+
+    def test_ring_buffer_bounds_memory_and_counts_drops(self):
+        tracer = make_tracer(max_spans=4)
+        for index in range(10):
+            with tracer.span("op", index=index):
+                pass
+        assert len(tracer.spans) == 4
+        assert tracer.spans_recorded == 10
+        assert tracer.spans_dropped == 6
+        recent = tracer.recent(2)
+        assert [span["args"]["index"] for span in recent] == [8, 9]
+
+    def test_chrome_trace_export(self, tmp_path):
+        tracer = make_tracer()
+        with tracer.span("stream.ingest", ops=5):
+            with tracer.span("shard.apply", shard=0, component="replica-1"):
+                pass
+        with tracer.span("ship.publish", kind="segment"):
+            pass
+        tracer.write_chrome_trace(tmp_path / "trace.json")
+        trace = json.loads((tmp_path / "trace.json").read_text())
+        events = trace["traceEvents"]
+        # Sorted by start time (not completion order), all complete events.
+        assert [e["name"] for e in events] == [
+            "stream.ingest", "shard.apply", "ship.publish",
+        ]
+        assert all(e["ph"] == "X" for e in events)
+        starts = [e["ts"] for e in events]
+        assert starts == sorted(starts)
+        # cat = name prefix; component label routes to the tid row.
+        assert [e["cat"] for e in events] == ["stream", "shard", "ship"]
+        assert [e["tid"] for e in events] == ["service", "replica-1", "service"]
+        assert "component" not in events[1]["args"]
+        assert events[1]["args"]["shard"] == 0
+        # µs since the tracer epoch; the fake clock ticks 1ms per reading.
+        ingest = events[0]
+        assert ingest["ts"] >= 0 and ingest["dur"] > 0
+        assert ingest["dur"] == pytest.approx(
+            ingest["dur"] // 1000 * 1000, abs=1
+        )  # whole-ms fake clock → whole-µs multiple of 1000
+
+
+# ---------------------------------------------------------------------------
+# Telemetry bundle and the null recorder
+# ---------------------------------------------------------------------------
+class TestTelemetry:
+    def test_span_feeds_the_latency_family(self):
+        telemetry = Telemetry()
+        with telemetry.span("stream.ingest"):
+            pass
+        with telemetry.span("stream.ingest"):
+            pass
+        with telemetry.span("shard.apply", shard=1):
+            pass
+        families = telemetry.snapshot()["metrics"]["span_seconds"]
+        assert families["name=stream.ingest"]["count"] == 2
+        assert families["name=shard.apply"]["count"] == 1
+        assert set(families["name=shard.apply"]) >= {"p50", "p95", "p99"}
+
+    def test_snapshot_shape_and_prometheus(self):
+        telemetry = Telemetry()
+        telemetry.counter("events").inc(3)
+        with telemetry.span("checkpoint.save"):
+            pass
+        snap = telemetry.snapshot()
+        assert snap["enabled"] is True
+        assert snap["metrics"]["events"] == 3
+        assert snap["trace"]["spans_recorded"] == 1
+        json.dumps(snap)  # the whole bundle is JSON-compatible
+        assert "repro_events 3" in telemetry.to_prometheus()
+
+    def test_component_registries(self):
+        telemetry = Telemetry()
+        telemetry.component("oplog").counter("appends").inc()
+        assert telemetry.snapshot()["metrics"]["oplog"]["appends"] == 1
+
+    def test_make_telemetry_settings(self):
+        assert make_telemetry(None) is NULL_TELEMETRY
+        assert make_telemetry(False) is NULL_TELEMETRY
+        assert make_telemetry("off") is NULL_TELEMETRY
+        assert isinstance(make_telemetry(True), Telemetry)
+        assert isinstance(make_telemetry("on"), Telemetry)
+        shared = Telemetry()
+        assert make_telemetry(shared) is shared
+        assert make_telemetry(NULL_TELEMETRY) is NULL_TELEMETRY
+        with pytest.raises(ValueError, match="telemetry"):
+            make_telemetry("loud")
+
+    def test_null_telemetry_is_inert(self, tmp_path):
+        null = NULL_TELEMETRY
+        assert isinstance(null, NullTelemetry) and not null.enabled
+        assert null.span("anything", label=1) is NULL_SPAN
+        with null.span("anything"):
+            pass
+        null.counter("c").inc()
+        null.gauge("g", labels=("a",)).labels(a=1).set(2)
+        null.histogram("h").record(0.5)
+        null.component("oplog").counter("x").inc()
+        assert null.snapshot() == {"enabled": False}
+        assert null.to_prometheus() == ""
+        null.write_chrome_trace(tmp_path / "trace.json")
+        trace = json.loads((tmp_path / "trace.json").read_text())
+        assert trace["traceEvents"] == []
+
+
+# ---------------------------------------------------------------------------
+# Service integration
+# ---------------------------------------------------------------------------
+def access_events(seed=3):
+    dataset = generate_access(n_profiles=6, n_records=240, seed=seed)
+    workload = build_workload(
+        dataset,
+        initial_count=80,
+        n_snapshots=5,
+        mixes=OperationMix(add=0.12, remove=0.03, update=0.03),
+        seed=2,
+    )
+
+    def factory():
+        return DynamicC(dataset.graph(), DBIndexObjective(), seed=0)
+
+    return factory, workload.event_stream()
+
+
+class TestServiceSnapshots:
+    @pytest.mark.parametrize("telemetry", (None, "on"))
+    def test_stats_snapshot_is_json_dumpable(self, telemetry):
+        factory, events = access_events()
+        service = ClusteringService(
+            factory,
+            StreamConfig(
+                n_shards=2, batch_max_ops=32, train_rounds=2, telemetry=telemetry
+            ),
+        )
+        service.ingest(events[:200])
+        service.flush()
+        stats = service.stats()
+        json.dumps(stats)  # the acceptance smoke: no raw objects leak out
+        assert stats["telemetry"]["enabled"] is (telemetry == "on")
+        if telemetry == "on":
+            families = stats["telemetry"]["metrics"]["span_seconds"]
+            assert "name=stream.ingest" in families
+        else:
+            assert service.telemetry is NULL_TELEMETRY
+
+    def test_shared_instance_survives_recovery(self, tmp_path):
+        factory, events = access_events()
+        telemetry = Telemetry()
+        config = StreamConfig(
+            n_shards=2,
+            batch_max_ops=32,
+            train_rounds=2,
+            oplog_path=tmp_path / "oplog.jsonl",
+            checkpoint_dir=tmp_path / "checkpoints",
+            telemetry=telemetry,
+        )
+        service = ClusteringService(factory, config)
+        service.ingest(events[:150])
+        service.flush()
+        service.checkpoint()
+        service.close()
+        recovered = ClusteringService.recover(factory, config)
+        assert recovered.telemetry is telemetry
+        families = telemetry.snapshot()["metrics"]["span_seconds"]
+        assert "name=checkpoint.save" in families
+        assert "name=checkpoint.load" in families
+        recovered.close()
+
+
+class TestEndToEndAcceptance:
+    def test_fault_harness_run_yields_one_merged_snapshot(self, tmp_path):
+        """The PR's acceptance invariant, verbatim.
+
+        One replicated-topology run under the fault harness (dry run —
+        intercepting every durability boundary without crashing) must
+        produce a *single* merged ``stats()`` snapshot covering stream,
+        engine round phases, oplog fsync, checkpoint, shipper and
+        replica lag — with p50/p95/p99 on every latency series — plus a
+        Chrome trace that loads as JSON.
+        """
+        factory, events = access_events()
+        telemetry = Telemetry()
+        config = StreamConfig(
+            n_shards=2,
+            batch_max_ops=32,
+            train_rounds=2,
+            oplog_path=tmp_path / "primary" / "oplog.jsonl",
+            checkpoint_dir=tmp_path / "primary" / "checkpoints",
+            fsync=True,
+            telemetry=telemetry,
+        )
+        with FaultInjector(obs=telemetry) as injector:
+            service = ReplicatedClusteringService(
+                factory, config, max_segment_ops=64
+            )
+            service.add_replica(name="replica-0")
+            half = len(events) // 2
+            service.ingest(events[:half])
+            service.sync()
+            service.checkpoint()
+            service.ingest(events[half:])
+            service.flush()
+            service.sync()
+            lag = service.lag()
+            merged = service.stats()
+            service.close()
+        assert len(injector) > 0  # the harness really intercepted ops
+
+        # One snapshot, from the one shared recorder: primary, shipper
+        # and replica all report the same telemetry object.
+        assert merged["primary"]["telemetry"] is not None
+        families = merged["primary"]["telemetry"]["metrics"]["span_seconds"]
+        span_names = {key.split("=", 1)[1] for key in families}
+        assert {
+            "stream.ingest",          # ingest → route → batch → apply
+            "stream.route",
+            "stream.batch.apply",
+            "shard.apply",
+            "engine.train",           # round phases
+            "engine.maintain",
+            "oplog.append",           # durability
+            "oplog.fsync",
+            "checkpoint.save",
+            "ship.publish",           # replication
+            "replica.poll",
+            "replica.segment.apply",
+            "replica.bootstrap",
+        } <= span_names
+        # Every latency series carries streaming percentiles.
+        for key, series in families.items():
+            assert series["count"] >= 1, key
+            assert {"p50", "p95", "p99"} <= set(series), key
+            assert series["p50"] <= series["p95"] <= series["p99"], key
+
+        # The fault harness's own counters landed in the same snapshot.
+        ops = merged["primary"]["telemetry"]["metrics"]["faultinject_ops_total"]
+        assert ops.get("kind=fsync", 0) > 0
+        assert ops.get("kind=replace", 0) > 0
+
+        # Replica lag includes the monotonic freshness gauge and the
+        # clamped staleness, and the whole thing serialises.
+        assert lag[0]["seq_delta"] == 0
+        assert lag[0]["applied_age_s"] >= 0.0
+        assert lag[0]["staleness_s"] >= 0.0
+        json.dumps(merged)
+
+        # And the trace is a loadable Chrome trace covering both rows.
+        telemetry.write_chrome_trace(tmp_path / "trace.json")
+        trace = json.loads((tmp_path / "trace.json").read_text())
+        tids = {event["tid"] for event in trace["traceEvents"]}
+        assert {"service", "replica-0"} <= tids
+        names = {event["name"] for event in trace["traceEvents"]}
+        assert "stream.ingest" in names and "replica.poll" in names
