@@ -97,6 +97,11 @@ def test_replica_lag(emit, tmp_path):
                 "max_seq_delta_after": max(
                     lag["seq_delta"] for lag in service.lag()
                 ),
+                "max_visibility_lag_s_after": max(
+                    lag["visibility_lag_s"]
+                    for lag in service.lag()
+                    if lag["visibility_lag_s"] is not None
+                ),
             }
         )
 
@@ -106,6 +111,16 @@ def test_replica_lag(emit, tmp_path):
     for replica in service.replicas:
         assert replica.partition() == primary_partition
         assert replica.lag()["seq_delta"] == 0
+
+    # Per-node e2e visibility percentiles (primary ingest → queryable
+    # on that node), straight from the shared recorder.
+    visibility = telemetry.snapshot()["metrics"]["e2e_visibility_seconds"]
+    expected_nodes = {"replica=primary"} | {
+        f"replica=replica-{index}" for index in range(N_REPLICAS)
+    }
+    assert set(visibility) == expected_nodes
+    for node, hist in visibility.items():
+        assert hist["count"] > 0 and hist["p99"] >= 0.0, node
 
     emit(
         render_table(
@@ -139,6 +154,20 @@ def test_replica_lag(emit, tmp_path):
                 "latency": {
                     "ingest": ingest_latency.snapshot(),
                     "sync": sync_latency.snapshot(),
+                },
+                # End-to-end freshness: per-node percentiles of the
+                # primary-ingest→queryable-here histogram, plus the
+                # final watermark trio each replica reports.
+                "visibility": {
+                    "e2e_visibility_seconds": visibility,
+                    "watermarks": {
+                        lag["name"]: {
+                            "primary_watermark_ts": lag["primary_watermark_ts"],
+                            "applied_watermark_ts": lag["applied_watermark_ts"],
+                            "visibility_lag_s": lag["visibility_lag_s"],
+                        }
+                        for lag in service.lag()
+                    },
                 },
                 "final": {
                     "primary_oplog_bytes": service.primary.stats()["oplog_bytes"],

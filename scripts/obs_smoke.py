@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""CI smoke test for the live operational surface.
+
+Starts a real ReplicatedClusteringService with ``obs_server=`` on a
+free loopback port, pushes a small workload through it, then scrapes
+the endpoints over actual HTTP exactly the way a monitoring stack
+would:
+
+* ``/metrics`` must answer 200 with parseable Prometheus text that
+  contains the e2e visibility summary for the primary and the replica;
+* ``/metrics.json`` and ``/traces`` must answer 200 with valid JSON;
+* ``/healthz`` must answer 200;
+* ``/readyz`` must answer 200 with every health check reporting.
+
+Exits non-zero (with a reason on stderr) on any failed expectation —
+wired into CI so "the scrape broke" is a red build, not a 3 a.m. page.
+
+Usage: python scripts/obs_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import urllib.request
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.clustering.objectives import DBIndexObjective  # noqa: E402
+from repro.core import DynamicC  # noqa: E402
+from repro.data.generators import generate_access  # noqa: E402
+from repro.data.workload import OperationMix, build_workload  # noqa: E402
+from repro.replica import ReplicatedClusteringService  # noqa: E402
+from repro.stream import StreamConfig  # noqa: E402
+
+
+def fail(reason: str) -> None:
+    print(f"obs smoke FAILED: {reason}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def scrape(address: str, path: str) -> bytes:
+    try:
+        with urllib.request.urlopen(f"http://{address}{path}", timeout=10) as resp:
+            if resp.status != 200:
+                fail(f"GET {path} -> {resp.status}")
+            return resp.read()
+    except OSError as exc:
+        fail(f"GET {path} raised {exc!r}")
+    raise AssertionError("unreachable")
+
+
+def validate_prometheus(text: str) -> dict[str, int]:
+    """Minimal scraper-side validation: every sample line must parse
+    and belong to a # TYPE'd family. Returns sample counts per family."""
+    typed: set[str] = set()
+    counts: dict[str, int] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            typed.add(line.split(" ", 3)[2])
+            continue
+        if line.startswith("#"):
+            continue
+        body, _, value = line.rpartition(" ")
+        try:
+            float(value)
+        except ValueError:
+            fail(f"unparseable sample value in {line!r}")
+        name = body.partition("{")[0]
+        base = name
+        for suffix in ("_count", "_sum"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+        if base not in typed:
+            fail(f"sample {name!r} outside any # TYPE'd family")
+        counts[base] = counts.get(base, 0) + 1
+    if not counts:
+        fail("/metrics body contained no samples")
+    return counts
+
+
+def main() -> int:
+    dataset = generate_access(n_profiles=6, n_records=240, seed=3)
+    workload = build_workload(
+        dataset,
+        initial_count=80,
+        n_snapshots=4,
+        mixes=OperationMix(add=0.12, remove=0.03, update=0.03),
+        seed=2,
+    )
+
+    def factory():
+        return DynamicC(dataset.graph(), DBIndexObjective(), seed=0)
+
+    with TemporaryDirectory() as scratch:
+        root = Path(scratch)
+        service = ReplicatedClusteringService(
+            factory,
+            StreamConfig(
+                n_shards=2,
+                batch_max_ops=48,
+                train_rounds=2,
+                oplog_path=root / "oplog.jsonl",
+                checkpoint_dir=root / "checkpoints",
+                telemetry="on",
+                obs_server="127.0.0.1:0",
+            ),
+        )
+        try:
+            service.add_replica(name="r0")
+            service.ingest(workload.event_stream()[:200])
+            service.flush()
+            service.sync()
+            address = service.obs_address
+            print(f"scraping http://{address}", file=sys.stderr)
+
+            counts = validate_prometheus(scrape(address, "/metrics").decode())
+            for family in (
+                "repro_e2e_visibility_seconds",
+                "repro_commit_watermark_ts",
+                "repro_applied_watermark_ts",
+            ):
+                if family not in counts:
+                    fail(f"{family} missing from /metrics")
+
+            json.loads(scrape(address, "/metrics.json"))
+            trace = json.loads(scrape(address, "/traces"))
+            if "traceEvents" not in trace:
+                fail("/traces is not a Chrome trace")
+            json.loads(scrape(address, "/healthz"))
+
+            report = json.loads(scrape(address, "/readyz"))
+            if not report.get("ready"):
+                fail(f"/readyz not ready: {report}")
+            if "replica:r0" not in report.get("checks", {}):
+                fail(f"replica check missing from /readyz: {report}")
+        finally:
+            service.close()
+    print("obs smoke OK", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

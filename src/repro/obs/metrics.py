@@ -203,9 +203,12 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: dict[str, Any] = {}
         self._children: dict[str, "MetricsRegistry"] = {}
+        self._help: dict[str, str] = {}
 
     # ------------------------------------------------------------------
-    def _named(self, name: str, kind: str, labels: tuple[str, ...]):
+    def _named(self, name: str, kind: str, labels: tuple[str, ...], help: str | None):
+        if help is not None:
+            self._help.setdefault(name, help)
         metric = self._metrics.get(name)
         if metric is None:
             if labels:
@@ -222,14 +225,14 @@ class MetricsRegistry:
             raise ValueError(f"metric {name!r} already registered with a different shape")
         return metric
 
-    def counter(self, name: str, labels: tuple[str, ...] = ()):
-        return self._named(name, "counter", labels)
+    def counter(self, name: str, labels: tuple[str, ...] = (), help: str | None = None):
+        return self._named(name, "counter", labels, help)
 
-    def gauge(self, name: str, labels: tuple[str, ...] = ()):
-        return self._named(name, "gauge", labels)
+    def gauge(self, name: str, labels: tuple[str, ...] = (), help: str | None = None):
+        return self._named(name, "gauge", labels, help)
 
-    def histogram(self, name: str, labels: tuple[str, ...] = ()):
-        return self._named(name, "histogram", labels)
+    def histogram(self, name: str, labels: tuple[str, ...] = (), help: str | None = None):
+        return self._named(name, "histogram", labels, help)
 
     def child(self, name: str) -> "MetricsRegistry":
         """Get-or-create the named component sub-registry."""
@@ -256,14 +259,15 @@ class MetricsRegistry:
     def _expose(self, prefix: str, lines: list[str]) -> None:
         for name, metric in sorted(self._metrics.items()):
             full = f"{prefix}_{_sanitize(name)}"
+            help_text = self._help.get(name, name.replace("_", " "))
+            lines.append(f"# HELP {full} {_escape_help(help_text)}")
+            lines.append(f"# TYPE {full} {_prom_type(metric.kind)}")
             if isinstance(metric, MetricFamily):
-                lines.append(f"# TYPE {full} {_prom_type(metric.kind)}")
                 for labels, child in sorted(
                     metric.series(), key=lambda pair: sorted(pair[0].items())
                 ):
                     _expose_metric(full, labels, child, lines)
             else:
-                lines.append(f"# TYPE {full} {_prom_type(metric.kind)}")
                 _expose_metric(full, {}, metric, lines)
         for name, registry in sorted(self._children.items()):
             registry._expose(f"{prefix}_{_sanitize(name)}", lines)
@@ -273,10 +277,28 @@ def _prom_type(kind: str) -> str:
     return "summary" if kind == "histogram" else kind
 
 
+def _escape_label(value: str) -> str:
+    """Escape a label value per the Prometheus text-format spec.
+
+    Backslash first — escaping it last would re-escape the escapes the
+    other two rules just introduced.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape backslash and newline (but not quotes)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_str(labels: dict[str, str]) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{_sanitize(k)}="{v}"' for k, v in sorted(labels.items()))
+    body = ",".join(
+        f'{_sanitize(k)}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+    )
     return "{" + body + "}"
 
 
@@ -304,28 +326,38 @@ def _sanitize(name: str) -> str:
 def snapshot_to_prometheus(snapshot: dict, prefix: str = "repro") -> str:
     """Flatten an arbitrary nested stats()/snapshot() dict to text metrics.
 
-    Every numeric leaf becomes one ``path_to_leaf value`` line (bools as
-    0/1); list elements get an ``index`` label; strings and ``None`` are
-    skipped. This is the bridge that exports the *existing* service
+    Every numeric leaf becomes one ``path_to_leaf value`` sample (bools
+    as 0/1); list elements get an ``index`` label; strings and ``None``
+    are skipped. Samples sharing a flattened name are grouped under one
+    ``# HELP`` / ``# TYPE <name> untyped`` header pair (the text format
+    requires all samples of a metric to be contiguous below its
+    metadata). This is the bridge that exports the *existing* service
     snapshots — not just obs-native registries — to a scrape endpoint or
     a ``metrics.prom`` artifact.
     """
+    samples: dict[str, list[str]] = {}
+    _flatten(prefix, {}, snapshot, samples)
     lines: list[str] = []
-    _flatten(prefix, {}, snapshot, lines)
+    for name, entries in samples.items():
+        lines.append(f"# HELP {name} {_escape_help(name.replace('_', ' '))}")
+        lines.append(f"# TYPE {name} untyped")
+        lines.extend(entries)
     return "\n".join(lines) + "\n" if lines else ""
 
 
-def _flatten(path: str, labels: dict[str, str], node: Any, lines: list[str]) -> None:
+def _flatten(
+    path: str, labels: dict[str, str], node: Any, samples: dict[str, list[str]]
+) -> None:
     if isinstance(node, bool):
-        lines.append(f"{path}{_label_str(labels)} {int(node)}")
+        samples.setdefault(path, []).append(f"{path}{_label_str(labels)} {int(node)}")
     elif isinstance(node, (int, float)):
-        lines.append(f"{path}{_label_str(labels)} {node}")
+        samples.setdefault(path, []).append(f"{path}{_label_str(labels)} {node}")
     elif isinstance(node, dict):
         for key, value in node.items():
-            _flatten(f"{path}_{_sanitize(str(key))}", labels, value, lines)
+            _flatten(f"{path}_{_sanitize(str(key))}", labels, value, samples)
     elif isinstance(node, (list, tuple)):
         for index, value in enumerate(node):
-            _flatten(path, dict(labels, index=str(index)), value, lines)
+            _flatten(path, dict(labels, index=str(index)), value, samples)
     # strings / None: not a metric
 
 

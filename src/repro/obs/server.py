@@ -1,0 +1,203 @@
+"""The observability HTTP server: scrape, probe, and trace over plain HTTP.
+
+:class:`ObsServer` is a stdlib-only (``http.server``) sidecar thread a
+service starts when ``StreamConfig.obs_server`` is set. It exposes:
+
+``GET /metrics``
+    Prometheus text exposition (``text/plain; version=0.0.4``) from the
+    attached telemetry — counters, gauges, histogram quantiles, with
+    ``# HELP`` / ``# TYPE`` headers and escaped label values.
+``GET /metrics.json``
+    The full :meth:`Telemetry.snapshot` as JSON (metrics + trace ring).
+``GET /traces``
+    The span ring buffer in Chrome ``chrome://tracing`` / Perfetto
+    JSON format.
+``GET /healthz``
+    Liveness: 200 with ``{"status": "alive"}`` whenever the process can
+    answer at all. No component checks run.
+``GET /readyz``
+    Readiness: runs every :class:`~repro.obs.health.HealthRegistry`
+    check; 200 while the aggregate is ``ok``/``degraded`` and any
+    bootstrap gate has opened, 503 otherwise. The body is the full
+    report either way, so an operator sees *which* check tripped.
+
+Anything else is 404; a provider that raises is a 500 whose body names
+the exception — the server never dies with the component it watches.
+
+The server binds before :meth:`start` returns, so ``port 0`` (ephemeral
+pick, the right choice in tests) works: read the real port back from
+:attr:`address`. Requests are handled on daemon threads
+(``ThreadingHTTPServer``), so a slow scrape never blocks a probe.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from .health import HealthRegistry
+from .telemetry import NULL_TELEMETRY
+
+
+def parse_listen(spec: str) -> tuple[str, int]:
+    """``"host:port"`` → ``(host, port)``; bare ``"port"`` binds loopback."""
+    text = spec.strip()
+    if ":" in text:
+        host, _, port_text = text.rpartition(":")
+    else:
+        host, port_text = "127.0.0.1", text
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"obs_server must look like 'host:port' or 'port', got {spec!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"obs_server port out of range: {port}")
+    return host or "127.0.0.1", port
+
+
+class ObsServer:
+    """Serve one telemetry recorder + health registry over HTTP.
+
+    Parameters
+    ----------
+    listen:
+        ``"host:port"`` (or just ``"port"``); port 0 asks the OS for a
+        free port — read it back from :attr:`address` after
+        :meth:`start`.
+    telemetry:
+        Recorder behind ``/metrics``, ``/metrics.json`` and ``/traces``.
+        The null recorder is fine: scrapes return empty-but-valid
+        bodies, probes still work.
+    health:
+        Registry behind ``/readyz``; ``None`` builds an empty one
+        (always ready).
+    logger:
+        Optional :class:`~repro.obs.logging.StructuredLogger`; request
+        lines land there (debug level) instead of stderr.
+    """
+
+    def __init__(
+        self,
+        listen: str,
+        telemetry=NULL_TELEMETRY,
+        health: HealthRegistry | None = None,
+        logger=None,
+        prefix: str = "repro",
+    ) -> None:
+        self.telemetry = telemetry
+        self.health = health if health is not None else HealthRegistry()
+        self.logger = logger
+        self.prefix = prefix
+        host, port = parse_listen(listen)
+        self._httpd = ThreadingHTTPServer((host, port), _make_handler(self))
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> str:
+        """The bound ``host:port`` — the real port even when asked for 0."""
+        host, port = self._httpd.server_address[:2]
+        return f"{host}:{port}"
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.address}"
+
+    def start(self) -> "ObsServer":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"obs-server-{self.address}",
+            daemon=True,
+        )
+        self._thread.start()
+        if self.logger is not None:
+            self.logger.info("obs_server_started", address=self.address)
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the port; idempotent."""
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._httpd.shutdown()
+            thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Endpoint bodies, separated from HTTP plumbing for direct testing.
+    # ------------------------------------------------------------------
+    def render_metrics(self) -> str:
+        return self.telemetry.to_prometheus(prefix=self.prefix)
+
+    def render_metrics_json(self) -> dict:
+        return self.telemetry.snapshot()
+
+    def render_traces(self) -> dict:
+        return self.telemetry.tracer.to_chrome_trace()
+
+    def render_readyz(self) -> tuple[int, dict]:
+        report = self.health.report()
+        return (200 if report["ready"] else 503), report
+
+
+def _make_handler(server: ObsServer):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server contract)
+            path = self.path.split("?", 1)[0]
+            try:
+                if path == "/metrics":
+                    self._send(200, server.render_metrics(),
+                               "text/plain; version=0.0.4; charset=utf-8")
+                elif path == "/metrics.json":
+                    self._send_json(200, server.render_metrics_json())
+                elif path == "/traces":
+                    self._send_json(200, server.render_traces())
+                elif path == "/healthz":
+                    self._send_json(200, {"status": "alive"})
+                elif path == "/readyz":
+                    status, report = server.render_readyz()
+                    self._send_json(status, report)
+                else:
+                    self._send_json(404, {"error": f"no such endpoint: {path}"})
+            except Exception as exc:  # provider bug ≠ dead endpoint
+                try:
+                    self._send_json(
+                        500, {"error": f"{type(exc).__name__}: {exc}"}
+                    )
+                except OSError:
+                    pass  # client hung up mid-error; nothing left to say
+
+        def _send(self, status: int, body: str, content_type: str) -> None:
+            payload = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def _send_json(self, status: int, obj: dict) -> None:
+            self._send(status, json.dumps(obj, indent=2) + "\n",
+                       "application/json; charset=utf-8")
+
+        def log_message(self, format: str, *args) -> None:
+            if server.logger is not None:
+                server.logger.debug(
+                    "http_request",
+                    client=self.address_string(),
+                    line=format % args,
+                )
+
+    return Handler

@@ -41,10 +41,21 @@ class Telemetry:
         clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         self.registry = MetricsRegistry()
-        self.tracer = Tracer(
-            max_spans=max_spans, clock=clock, on_complete=self._span_done
+        self._dropped_spans = self.registry.counter(
+            "obs_dropped_spans_total",
+            help="Completed spans evicted from the full trace ring buffer",
         )
-        self._span_seconds = self.registry.histogram("span_seconds", labels=("name",))
+        self.tracer = Tracer(
+            max_spans=max_spans,
+            clock=clock,
+            on_complete=self._span_done,
+            on_drop=self._dropped_spans.inc,
+        )
+        self._span_seconds = self.registry.histogram(
+            "span_seconds",
+            labels=("name",),
+            help="Latency of instrumented sections, per span name",
+        )
 
     def _span_done(self, span) -> None:
         self._span_seconds.labels(name=span.name).record(span.duration)
@@ -54,14 +65,22 @@ class Telemetry:
         """Time a section: trace event + ``span_seconds`` histogram sample."""
         return self.tracer.span(name, **args)
 
-    def counter(self, name: str, labels: tuple[str, ...] = ()):
-        return self.registry.counter(name, labels)
+    def current_span(self):
+        """The innermost open span (log correlation), ``None`` outside."""
+        return self.tracer.current()
 
-    def gauge(self, name: str, labels: tuple[str, ...] = ()):
-        return self.registry.gauge(name, labels)
+    @property
+    def trace_id(self) -> str:
+        return self.tracer.trace_id
 
-    def histogram(self, name: str, labels: tuple[str, ...] = ()):
-        return self.registry.histogram(name, labels)
+    def counter(self, name: str, labels: tuple[str, ...] = (), help: str | None = None):
+        return self.registry.counter(name, labels, help=help)
+
+    def gauge(self, name: str, labels: tuple[str, ...] = (), help: str | None = None):
+        return self.registry.gauge(name, labels, help=help)
+
+    def histogram(self, name: str, labels: tuple[str, ...] = (), help: str | None = None):
+        return self.registry.histogram(name, labels, help=help)
 
     def component(self, name: str) -> MetricsRegistry:
         """Per-component child registry (oplog, shipper, replica-N, …)."""
@@ -113,7 +132,9 @@ _NULL_METRIC = _NullMetric()
 class _NullRegistry:
     __slots__ = ()
 
-    def counter(self, name: str, labels: tuple[str, ...] = ()) -> _NullMetric:
+    def counter(
+        self, name: str, labels: tuple[str, ...] = (), help: str | None = None
+    ) -> _NullMetric:
         return _NULL_METRIC
 
     gauge = counter
@@ -145,7 +166,14 @@ class NullTelemetry:
     def span(self, name: str, **args: Any) -> _NullSpanContext:
         return NULL_SPAN
 
-    def counter(self, name: str, labels: tuple[str, ...] = ()) -> _NullMetric:
+    def current_span(self) -> None:
+        return None
+
+    trace_id = "0-0"
+
+    def counter(
+        self, name: str, labels: tuple[str, ...] = (), help: str | None = None
+    ) -> _NullMetric:
         return _NULL_METRIC
 
     gauge = counter

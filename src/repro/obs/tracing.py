@@ -17,16 +17,23 @@ given), so primary and replica activity separate into rows.
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
 import time
 from collections import deque
 from typing import Any, Callable
+
+#: Process-wide tracer id allocator: every Tracer gets a distinct
+#: ``trace_id`` so logs from two services in one process correlate to
+#: the right recorder.
+_TRACER_IDS = itertools.count(1)
 
 
 class Span:
     """One completed (or in-flight) timed section."""
 
-    __slots__ = ("name", "args", "start", "end", "depth", "parent")
+    __slots__ = ("name", "args", "start", "end", "depth", "parent", "span_id")
 
     def __init__(self, name: str, args: dict[str, Any]) -> None:
         self.name = name
@@ -35,6 +42,9 @@ class Span:
         self.end = 0.0
         self.depth = 0
         self.parent: str | None = None
+        #: Assigned by the tracer at entry; 0 until then. Structured log
+        #: lines emitted inside the span carry it as their correlation id.
+        self.span_id = 0
 
     @property
     def duration(self) -> float:
@@ -43,6 +53,7 @@ class Span:
     def to_dict(self) -> dict:
         return {
             "name": self.name,
+            "span_id": self.span_id,
             "start_s": self.start,
             "duration_s": self.duration,
             "depth": self.depth,
@@ -65,6 +76,8 @@ class _SpanContext:
         span = self._span
         span.depth = len(tracer._stack)
         span.parent = tracer._stack[-1].name if tracer._stack else None
+        span.span_id = tracer._next_span_id
+        tracer._next_span_id += 1
         tracer._stack.append(span)
         span.start = tracer.clock()
         return span
@@ -93,6 +106,11 @@ class Tracer:
         its recent past at bounded memory.
     clock:
         Monotonic time source (``time.perf_counter`` domain).
+    on_drop:
+        Called once per completed span evicted from the full ring
+        buffer — how :class:`~repro.obs.telemetry.Telemetry` keeps its
+        ``obs_dropped_spans_total`` counter honest, so backpressure on
+        the observability path is itself observable.
     """
 
     enabled = True
@@ -102,20 +120,32 @@ class Tracer:
         max_spans: int = 8192,
         clock: Callable[[], float] = time.perf_counter,
         on_complete: Callable[[Span], None] | None = None,
+        on_drop: Callable[[], None] | None = None,
     ) -> None:
         self.clock = clock
         self.epoch = clock()
         self.max_spans = max_spans
         self.spans: deque[Span] = deque(maxlen=max_spans)
         self.spans_recorded = 0
+        #: Stable correlation id for this recorder (process id + tracer
+        #: ordinal) — stamped into structured log lines as ``trace``.
+        self.trace_id = f"{os.getpid():x}-{next(_TRACER_IDS)}"
         self._stack: list[Span] = []
+        self._next_span_id = 1
         self._on_complete = on_complete
+        self._on_drop = on_drop
 
     def span(self, name: str, **args: Any) -> _SpanContext:
         return _SpanContext(self, Span(name, args))
 
+    def current(self) -> Span | None:
+        """The innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
     def _record(self, span: Span) -> None:
         self.spans_recorded += 1
+        if len(self.spans) == self.max_spans and self._on_drop is not None:
+            self._on_drop()
         self.spans.append(span)
         if self._on_complete is not None:
             self._on_complete(span)
@@ -195,9 +225,13 @@ class NullTracer:
     """No-op recorder: every call is a constant-time shrug."""
 
     enabled = False
+    trace_id = "0-0"
 
     def span(self, name: str, **args: Any) -> _NullSpanContext:
         return NULL_SPAN
+
+    def current(self) -> None:
+        return None
 
     def recent(self, n: int = 50) -> list[dict]:
         return []

@@ -21,8 +21,14 @@ reads*. This package turns that property into a primary/replica system:
   failover;
 * :mod:`repro.replica.service` — :class:`ReplicatedClusteringService`,
   the one-primary/N-replica façade with round-robin read routing,
-  self-healing :meth:`~ReplicatedClusteringService.sync`, and
-  snapshot-bounded :meth:`~ReplicatedClusteringService.compact`.
+  self-healing :meth:`~ReplicatedClusteringService.sync`,
+  snapshot-bounded :meth:`~ReplicatedClusteringService.compact`, and —
+  with ``StreamConfig(obs_server=...)`` — one topology-wide HTTP
+  operational surface (metrics, traces, per-replica health);
+* :mod:`repro.replica.follower` — :class:`FollowerDaemon` /
+  ``python -m repro.replica.follower``: a standalone mailbox follower
+  on a poll timer, serving its own endpoints, with readiness gated on
+  bootstrap.
 """
 
 from .replica import ReadReplica
@@ -31,7 +37,19 @@ from .service import ReplicatedClusteringService
 from .shipper import LogShipper
 from .transport import InProcessTransport, MailboxTransport, Transport
 
+
+def __getattr__(name):
+    # Lazy so `python -m repro.replica.follower` doesn't import the
+    # module twice (package import + runpy execution would warn).
+    if name == "FollowerDaemon":
+        from .follower import FollowerDaemon
+
+        return FollowerDaemon
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "FollowerDaemon",
     "InProcessTransport",
     "LogSegment",
     "LogShipper",

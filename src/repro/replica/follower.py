@@ -1,0 +1,327 @@
+"""Standalone mailbox follower: ``python -m repro.replica.follower``.
+
+The multi-process half of the serving story: a primary publishes
+segments and snapshots into a spool directory
+(:class:`~repro.replica.transport.MailboxTransport`), and this daemon —
+running in another process, or on another machine over a synced
+filesystem — tails the spool on a poll timer, applies what arrives to
+its own :class:`~repro.replica.replica.ReadReplica`, and serves its own
+operational surface (``/metrics``, ``/metrics.json``, ``/traces``,
+``/healthz``, ``/readyz``) over HTTP.
+
+Readiness is gated on bootstrap: ``/readyz`` answers 503 until the
+follower's first successful drain of the spool has given it something
+to serve (a snapshot restore, applied segments, or at minimum a
+heartbeat proving a live primary) — so a load balancer never routes
+reads to a follower that is still an empty engine. After the gate
+opens, readiness follows the health checks (replication lag bounds,
+spool consumability, the replica's own storage).
+
+The engine factory must be the *same deterministic factory the primary
+uses* or replayed rounds diverge; pass it as ``--factory module:attr``.
+The built-in :func:`demo_factory` pairs with
+``examples/replicated_service.py``-style demo primaries and exists so
+the daemon can be exercised end-to-end without writing a module first.
+
+Quickstart (two shells)::
+
+    # shell 1: a primary shipping into the spool via MailboxTransport
+    # shell 2:
+    python -m repro.replica.follower --spool /tmp/spool \\
+        --listen 127.0.0.1:9100 --factory myproject.engines:factory
+    curl -s localhost:9100/readyz | python -m json.tool
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from typing import Callable
+
+from repro.obs.health import CheckResult, HealthRegistry, degraded, failing, ok
+from repro.obs.logging import NULL_LOGGER, StructuredLogger
+from repro.obs.server import ObsServer
+from repro.stream.service import StreamConfig
+from repro.stream.shard import EngineFactory
+
+from .replica import ReadReplica
+from .segment import ReplicationGap
+from .transport import MailboxTransport
+
+
+class FollowerDaemon:
+    """A poll-timer mailbox follower with its own operational surface.
+
+    Parameters
+    ----------
+    engine_factory:
+        The primary's deterministic engine factory.
+    config:
+        The follower's :class:`~repro.stream.service.StreamConfig`;
+        round-cut parameters must match the primary's. ``obs_server``
+        here is ignored — the daemon owns the HTTP surface via
+        ``listen`` so it survives the service replacements a snapshot
+        restore performs.
+    spool:
+        The spool directory the primary's
+        :class:`~repro.replica.transport.MailboxTransport` publishes
+        into.
+    listen:
+        ``"host:port"`` for this follower's endpoints; ``None`` serves
+        nothing (useful under tests driving :meth:`run_once` directly).
+    poll_interval:
+        Seconds between spool drains in :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        engine_factory: EngineFactory,
+        config: StreamConfig,
+        spool,
+        *,
+        name: str = "follower",
+        listen: str | None = None,
+        poll_interval: float = 0.5,
+    ) -> None:
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be > 0")
+        self.name = name
+        self.poll_interval = poll_interval
+        self.transport = MailboxTransport(spool)
+        self.replica = ReadReplica(
+            engine_factory, config, self.transport, name=name
+        )
+        self.logger = (
+            self.replica.service.logger.child(f"follower.{name}")
+            if self.replica.service.logger.enabled
+            else NULL_LOGGER
+        )
+        self.polls = 0
+        self.ops_applied = 0
+        #: Opens once the first successful drain leaves the follower
+        #: with something to serve; gates ``/readyz``.
+        self.bootstrapped = False
+        #: Unhealed gap from the last drain (needs a primary-side
+        #: resync); cleared by the next successful poll.
+        self.gap: str | None = None
+        # The daemon's own registry delegates to the *live* service's
+        # checks (the replica replaces its service on snapshot restore,
+        # registry and all), and adds the spool + bootstrap gate.
+        self.health = HealthRegistry(ready_when=lambda: self.bootstrapped)
+        self.health.register("spool", self._check_spool)
+        self.health.register("service", self._check_service)
+        self.obs_server = (
+            ObsServer(
+                listen,
+                telemetry=self.replica.obs,
+                health=self.health,
+                logger=self.logger if self.logger.enabled else None,
+            ).start()
+            if listen is not None
+            else None
+        )
+
+    @property
+    def obs_address(self) -> str | None:
+        return self.obs_server.address if self.obs_server is not None else None
+
+    # ------------------------------------------------------------------
+    def _check_spool(self) -> CheckResult:
+        data = {
+            "pending": len(self.transport.pending()),
+            "quarantined": self.transport.quarantined,
+        }
+        if self.gap is not None:
+            return failing(self.gap, **data)
+        if self.transport.quarantined:
+            return degraded(
+                f"{self.transport.quarantined} artifacts quarantined", **data
+            )
+        return ok("consumable", **data)
+
+    def _check_service(self) -> CheckResult:
+        report = self.replica.service.health.report()
+        status = report["status"]
+        detail = ", ".join(
+            f"{name}: {check['status']}" for name, check in report["checks"].items()
+        )
+        return CheckResult(status, detail, {"checks": report["checks"]})
+
+    # ------------------------------------------------------------------
+    def run_once(self) -> int:
+        """Drain the spool once; returns operations applied.
+
+        A :class:`ReplicationGap` does not kill the daemon — the
+        follower keeps serving its (stale but consistent) state, the
+        ``spool`` check turns failing so ``/readyz`` flips to 503, and
+        the next successful drain (after a primary-side resync ships a
+        bridging snapshot) clears it.
+        """
+        self.polls += 1
+        try:
+            applied = self.replica.poll()
+        except ReplicationGap as exc:
+            self.gap = str(exc)
+            if self.logger.enabled:
+                self.logger.error("replication_gap", detail=str(exc))
+            return 0
+        self.gap = None
+        self.ops_applied += applied
+        if not self.bootstrapped and (
+            self.replica.received_seq > 0
+            or self.replica.last_heard_at is not None
+        ):
+            self.bootstrapped = True
+            if self.logger.enabled:
+                self.logger.info(
+                    "follower_ready",
+                    received_seq=self.replica.received_seq,
+                    snapshots_applied=self.replica.snapshots_applied,
+                )
+        if applied and self.logger.enabled:
+            lag = self.replica.lag()
+            self.logger.info(
+                "spool_applied",
+                ops=applied,
+                received_seq=self.replica.received_seq,
+                visibility_lag_s=lag["visibility_lag_s"],
+            )
+        return applied
+
+    def run(
+        self,
+        *,
+        max_polls: int | None = None,
+        should_stop: Callable[[], bool] | None = None,
+    ) -> None:
+        """Poll forever (or ``max_polls`` times), sleeping between drains."""
+        while max_polls is None or self.polls < max_polls:
+            if should_stop is not None and should_stop():
+                return
+            self.run_once()
+            if max_polls is not None and self.polls >= max_polls:
+                return
+            time.sleep(self.poll_interval)
+
+    def stats(self) -> dict:
+        return {
+            "name": self.name,
+            "polls": self.polls,
+            "ops_applied": self.ops_applied,
+            "bootstrapped": self.bootstrapped,
+            "gap": self.gap,
+            "obs_address": self.obs_address,
+            "replica": self.replica.lag(),
+        }
+
+    def close(self) -> None:
+        if self.obs_server is not None:
+            self.obs_server.close()
+        self.replica.close()
+
+    def __enter__(self) -> "FollowerDaemon":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def demo_factory():
+    """A deterministic demo engine (pairs with the demo/test primaries).
+
+    Deliberately tiny: the access-profile dataset with a fixed seed, a
+    DB-index objective, DynamicC seed 0 — matching the factories the
+    examples and replication tests build, so a demo primary and this
+    CLI agree without a shared module.
+    """
+    from repro.clustering.objectives import DBIndexObjective
+    from repro.core import DynamicC
+    from repro.data.generators import generate_access
+
+    dataset = generate_access(n_profiles=8, n_records=500, seed=3)
+    return DynamicC(dataset.graph(), DBIndexObjective(), seed=0)
+
+
+def load_factory(spec: str) -> EngineFactory:
+    """Resolve ``module:attr`` (or ``module.attr``) to an engine factory."""
+    module_name, sep, attr = spec.partition(":")
+    if not sep:
+        module_name, _, attr = spec.rpartition(".")
+        if not module_name:
+            raise SystemExit(f"--factory must look like module:attr, got {spec!r}")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise SystemExit(f"cannot import factory module {module_name!r}: {exc}")
+    try:
+        return getattr(module, attr)
+    except AttributeError:
+        raise SystemExit(f"module {module_name!r} has no attribute {attr!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.replica.follower",
+        description="Mailbox follower: tail a spool directory, serve "
+        "read-replica health/metrics over HTTP.",
+    )
+    parser.add_argument("--spool", required=True, help="spool directory the primary ships into")
+    parser.add_argument("--listen", default="127.0.0.1:0", help="host:port for /metrics, /healthz, /readyz… (default: loopback, free port)")
+    parser.add_argument("--name", default="follower", help="this follower's name (metrics label, log component)")
+    parser.add_argument("--factory", default=None, help="engine factory as module:attr (default: built-in demo factory)")
+    parser.add_argument("--poll-interval", type=float, default=0.5, help="seconds between spool drains")
+    parser.add_argument("--max-polls", type=int, default=None, help="exit after this many drains (default: run forever)")
+    parser.add_argument("--oplog", default=None, help="follower's own oplog path (durable follower)")
+    parser.add_argument("--checkpoints", default=None, help="follower's own checkpoint dir (required with --oplog)")
+    parser.add_argument("--log-backend", default="jsonl", help="oplog backend: jsonl or sqlite")
+    parser.add_argument("--shards", type=int, default=2, help="n_shards (must match the primary)")
+    parser.add_argument("--batch-max-ops", type=int, default=256, help="round-cut budget (must match the primary)")
+    parser.add_argument("--train-rounds", type=int, default=3, help="warmup rounds (must match the primary)")
+    parser.add_argument("--telemetry", action="store_true", help="collect span latencies and traces")
+    parser.add_argument("--quiet", action="store_true", help="suppress structured logs on stderr")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    factory = load_factory(args.factory) if args.factory else demo_factory
+    config = StreamConfig(
+        n_shards=args.shards,
+        batch_max_ops=args.batch_max_ops,
+        train_rounds=args.train_rounds,
+        oplog_path=args.oplog,
+        checkpoint_dir=args.checkpoints,
+        log_backend=args.log_backend,
+        telemetry="on" if args.telemetry else None,
+        node_name=args.name,
+        log_stream=None if args.quiet else sys.stderr,
+    )
+    daemon = FollowerDaemon(
+        factory,
+        config,
+        args.spool,
+        name=args.name,
+        listen=args.listen,
+        poll_interval=args.poll_interval,
+    )
+    print(
+        f"follower {args.name!r} tailing {args.spool} — "
+        f"endpoints at http://{daemon.obs_address}",
+        file=sys.stderr,
+    )
+    try:
+        daemon.run(max_polls=args.max_polls)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,7 @@ import time
 from dataclasses import replace
 from typing import Callable
 
+from repro.obs.health import check_replica_lag
 from repro.obs.telemetry import make_telemetry
 from repro.stream.checkpoint import open_checkpoints
 from repro.stream.service import ClusteringService, StreamConfig
@@ -74,10 +75,19 @@ class ReadReplica:
         name: str = "replica",
         clock: Callable[[], float] = time.time,
         snapshot: dict | None = None,
+        max_lag_ops: int = 10_000,
+        max_staleness_s: float = 60.0,
     ) -> None:
         self.name = name
         self.transport = transport
         self.clock = clock
+        self.max_lag_ops = max_lag_ops
+        self.max_staleness_s = max_staleness_s
+        # The replica's name is the ``replica`` label on its service's
+        # e2e_visibility_seconds / watermark instruments and its
+        # structured-log component.
+        if config.node_name != name:
+            config = replace(config, node_name=name)
         if snapshot is not None and config.oplog_path is not None:
             # The local log will start right after the snapshot's seq.
             # Unless the local checkpoint store holds that snapshot,
@@ -121,6 +131,26 @@ class ReadReplica:
         # ``shipped_at``), it cannot go negative or jump under clock
         # skew between primary and replica hosts.
         self._applied_mono: float | None = None
+        #: The primary's freshness watermark, as of the newest artifact
+        #: heard (wall clock; ``None`` until an artifact carries one).
+        self.primary_watermark_ts: float | None = None
+        self._register_health()
+
+    def _register_health(self) -> None:
+        """(Re)register the replication check on the live service.
+
+        Called at construction and after every service replacement
+        (:meth:`apply_snapshot` rebuilds the service, and with it the
+        health registry), so ``/readyz`` always sees replication lag.
+        """
+        self.service.health.register(
+            "replication",
+            check_replica_lag(
+                self.lag,
+                max_seq_delta=self.max_lag_ops,
+                max_staleness_s=self.max_staleness_s,
+            ),
+        )
 
     @property
     def obs(self):
@@ -209,6 +239,7 @@ class ReadReplica:
         self.primary_seq = max(self.primary_seq, segment.primary_seq)
         if self.last_heard_at is None or segment.shipped_at > self.last_heard_at:
             self.last_heard_at = segment.shipped_at
+        self._advance_watermark(segment.primary_watermark_ts)
         if segment.is_heartbeat:
             return 0
         if segment.last_seq <= self.received_seq:
@@ -253,6 +284,7 @@ class ReadReplica:
         self.primary_seq = max(self.primary_seq, artifact.primary_seq)
         if self.last_heard_at is None or artifact.shipped_at > self.last_heard_at:
             self.last_heard_at = artifact.shipped_at
+        self._advance_watermark(artifact.primary_watermark_ts)
         if artifact.applied_seq <= self.received_seq:
             self.snapshots_skipped += 1
             return 0
@@ -300,7 +332,15 @@ class ReadReplica:
         self.received_seq = artifact.applied_seq
         self.snapshots_applied += 1
         self._applied_mono = time.monotonic()
+        self._register_health()  # the restore built a fresh service
         return 0
+
+    def _advance_watermark(self, watermark_ts: float | None) -> None:
+        if watermark_ts is not None and (
+            self.primary_watermark_ts is None
+            or watermark_ts > self.primary_watermark_ts
+        ):
+            self.primary_watermark_ts = watermark_ts
 
     def lag(self) -> dict:
         """How far behind the primary this replica's answers are.
@@ -315,8 +355,26 @@ class ReadReplica:
         since this process last applied a segment or snapshot, measured
         entirely on the replica's own monotonic clock (``None`` until
         something has been applied).
+
+        The watermark trio measures *data freshness* rather than
+        transport freshness: ``primary_watermark_ts`` is the newest
+        primary ``ingest_ts`` this replica has heard of,
+        ``applied_watermark_ts`` the newest one visible to its queries,
+        and ``visibility_lag_s`` their difference — both stamps come
+        from the *primary's* clock, so the subtraction is skew-free,
+        and it is still clamped ``>= 0`` because an artifact race
+        (snapshot stamped before a concurrent ingest) may briefly order
+        them oddly. Each is ``None`` until the relevant stamp exists
+        (empty log, pre-watermark log, never-polled replica).
         """
+        applied_watermark = self.service.applied_watermark_ts
+        visibility_lag = None
+        if self.primary_watermark_ts is not None and applied_watermark is not None:
+            visibility_lag = max(0.0, self.primary_watermark_ts - applied_watermark)
         return {
+            "primary_watermark_ts": self.primary_watermark_ts,
+            "applied_watermark_ts": applied_watermark,
+            "visibility_lag_s": visibility_lag,
             "name": self.name,
             "received_seq": self.received_seq,
             "applied_seq": self.service.applied_seq,

@@ -52,6 +52,12 @@ class LogSegment:
     primary_seq: int
     #: Wall-clock ship time (``time.time()`` domain) on the primary.
     shipped_at: float
+    #: The primary's freshness watermark when this segment was cut: the
+    #: ``ingest_ts`` of its newest committed operation (``None`` when
+    #: the log predates watermarks). Rides every artifact — heartbeats
+    #: included — so a follower's visibility lag stays honest while the
+    #: primary is idle.
+    primary_watermark_ts: float | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "operations", tuple(self.operations))
@@ -88,16 +94,20 @@ class LogSegment:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        data = {
             "first_seq": self.first_seq,
             "last_seq": self.last_seq,
             "primary_seq": self.primary_seq,
             "shipped_at": self.shipped_at,
             "operations": [operation.to_dict() for operation in self.operations],
         }
+        if self.primary_watermark_ts is not None:
+            data["primary_watermark_ts"] = self.primary_watermark_ts
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "LogSegment":
+        watermark = data.get("primary_watermark_ts")
         return cls(
             first_seq=int(data["first_seq"]),
             last_seq=int(data["last_seq"]),
@@ -106,11 +116,16 @@ class LogSegment:
             ),
             primary_seq=int(data["primary_seq"]),
             shipped_at=float(data["shipped_at"]),
+            primary_watermark_ts=float(watermark) if watermark is not None else None,
         )
 
     @classmethod
     def heartbeat(
-        cls, after_seq: int, primary_seq: int, shipped_at: float
+        cls,
+        after_seq: int,
+        primary_seq: int,
+        shipped_at: float,
+        primary_watermark_ts: float | None = None,
     ) -> "LogSegment":
         """An empty segment asserting "nothing new after ``after_seq``"."""
         return cls(
@@ -119,6 +134,7 @@ class LogSegment:
             operations=(),
             primary_seq=primary_seq,
             shipped_at=shipped_at,
+            primary_watermark_ts=primary_watermark_ts,
         )
 
 
@@ -141,6 +157,9 @@ class SnapshotArtifact:
     primary_seq: int
     #: Wall-clock ship time (``time.time()`` domain) on the primary.
     shipped_at: float
+    #: The primary's freshness watermark at ship time (see
+    #: :attr:`LogSegment.primary_watermark_ts`).
+    primary_watermark_ts: float | None = None
 
     def __post_init__(self) -> None:
         recorded = int(self.state["applied_seq"])
@@ -152,29 +171,40 @@ class SnapshotArtifact:
 
     @classmethod
     def from_state(
-        cls, state: dict, *, primary_seq: int, shipped_at: float
+        cls,
+        state: dict,
+        *,
+        primary_seq: int,
+        shipped_at: float,
+        primary_watermark_ts: float | None = None,
     ) -> "SnapshotArtifact":
         return cls(
             state=state,
             applied_seq=int(state["applied_seq"]),
             primary_seq=primary_seq,
             shipped_at=shipped_at,
+            primary_watermark_ts=primary_watermark_ts,
         )
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        data = {
             "applied_seq": self.applied_seq,
             "primary_seq": self.primary_seq,
             "shipped_at": self.shipped_at,
             "state": self.state,
         }
+        if self.primary_watermark_ts is not None:
+            data["primary_watermark_ts"] = self.primary_watermark_ts
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SnapshotArtifact":
+        watermark = data.get("primary_watermark_ts")
         return cls(
             state=data["state"],
             applied_seq=int(data["applied_seq"]),
             primary_seq=int(data["primary_seq"]),
             shipped_at=float(data["shipped_at"]),
+            primary_watermark_ts=float(watermark) if watermark is not None else None,
         )

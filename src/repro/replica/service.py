@@ -25,6 +25,8 @@ import time
 from dataclasses import replace
 from typing import Callable, Iterable, Sequence
 
+from repro.obs.health import check_replica_lag
+from repro.obs.server import ObsServer
 from repro.stream.events import Operation
 from repro.stream.service import ClusteringService, StreamConfig
 from repro.stream.shard import EngineFactory
@@ -69,15 +71,40 @@ class ReplicatedClusteringService:
         self._factory = engine_factory
         self.clock = clock
         self.max_segment_ops = max_segment_ops
+        # The topology serves ONE operational surface for the whole
+        # primary → shipper → replicas pipeline, so the listen spec is
+        # lifted off the primary's config (it would otherwise bind its
+        # own, replica-blind server on the same address).
+        listen = config.obs_server
+        if listen is not None:
+            config = replace(config, obs_server=None)
         self.primary = ClusteringService(engine_factory, config)
         #: The topology's single telemetry collection point: the
         #: primary's recorder, shared with the shipper and (by default)
         #: every attached replica, so one ``snapshot()`` covers the
         #: whole primary → shipper → replica pipeline.
         self.telemetry = self.primary.telemetry
+        #: Topology health: the primary's component checks, plus one
+        #: ``replica:<name>`` lag check per attached follower.
+        self.health = self.primary.health
+        self.obs_server = (
+            ObsServer(
+                listen,
+                telemetry=self.telemetry,
+                health=self.health,
+                logger=self.primary.logger if self.primary.logger.enabled else None,
+            ).start()
+            if listen is not None
+            else None
+        )
         self.shipper = self._build_shipper()
         self.replicas: list[ReadReplica] = []
         self._reader = 0
+
+    @property
+    def obs_address(self) -> str | None:
+        """Bound ``host:port`` of the obs HTTP server, ``None`` when off."""
+        return self.obs_server.address if self.obs_server is not None else None
 
     def _build_shipper(self) -> LogShipper:
         return LogShipper(
@@ -161,6 +188,14 @@ class ReplicatedClusteringService:
         # Ship only what the snapshot doesn't already cover.
         self.shipper.attach(transport, from_seq=replica.received_seq)
         self.replicas.append(replica)
+        self.health.register(
+            f"replica:{name}",
+            check_replica_lag(
+                replica.lag,
+                max_seq_delta=replica.max_lag_ops,
+                max_staleness_s=replica.max_staleness_s,
+            ),
+        )
         return replica
 
     def sync(self, heartbeat: bool = True) -> int:
@@ -332,12 +367,31 @@ class ReplicatedClusteringService:
         # The new primary's recorder becomes the collection point (the
         # same instance when the promoted follower shared it).
         self.telemetry = self.primary.telemetry
+        # Same for the operational surface: the new primary's health
+        # registry takes over (re-acquiring every surviving replica's
+        # lag check), and a live obs server is re-pointed, not restarted
+        # — its address survives the failover.
+        self.health = self.primary.health
+        for replica in self.replicas:
+            self.health.register(
+                f"replica:{replica.name}",
+                check_replica_lag(
+                    replica.lag,
+                    max_seq_delta=replica.max_lag_ops,
+                    max_staleness_s=replica.max_staleness_s,
+                ),
+            )
+        if self.obs_server is not None:
+            self.obs_server.telemetry = self.telemetry
+            self.obs_server.health = self.health
         self.shipper = self._build_shipper()
         for replica in self.replicas:
             self.shipper.attach(replica.transport, from_seq=replica.received_seq)
         return self.primary
 
     def close(self) -> None:
+        if self.obs_server is not None:
+            self.obs_server.close()
         self.primary.close()
         for replica in self.replicas:
             replica.close()

@@ -159,7 +159,12 @@ class LogShipper:
         if published == 0 and heartbeat:
             with self.obs.span("ship.publish", kind="heartbeat"):
                 sub.transport.publish(
-                    LogSegment.heartbeat(sub.shipped_seq, primary_seq, now)
+                    LogSegment.heartbeat(
+                        sub.shipped_seq,
+                        primary_seq,
+                        now,
+                        primary_watermark_ts=self.log.last_watermark_ts,
+                    )
                 )
             published += 1
         return published
@@ -173,6 +178,7 @@ class LogShipper:
             operations=tuple(chunk),
             primary_seq=primary_seq,
             shipped_at=now,
+            primary_watermark_ts=self.log.last_watermark_ts,
         )
         with self.obs.span("ship.publish", kind="segment", ops=len(segment)):
             sub.transport.publish(segment)
@@ -199,7 +205,10 @@ class LogShipper:
                 ):
                     sub.transport.publish(
                         SnapshotArtifact.from_state(
-                            state, primary_seq=self.log.last_seq, shipped_at=now
+                            state,
+                            primary_seq=self.log.last_seq,
+                            shipped_at=now,
+                            primary_watermark_ts=self.log.last_watermark_ts,
                         )
                     )
                 sub.shipped_seq = applied_seq
@@ -235,7 +244,10 @@ class LogShipper:
                 "checkpoint the primary, then retry"
             )
         artifact = SnapshotArtifact.from_state(
-            state, primary_seq=self.log.last_seq, shipped_at=self.clock()
+            state,
+            primary_seq=self.log.last_seq,
+            shipped_at=self.clock(),
+            primary_watermark_ts=self.log.last_watermark_ts,
         )
         sub.transport.publish(artifact)
         sub.shipped_seq = artifact.applied_seq

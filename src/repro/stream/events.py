@@ -38,6 +38,15 @@ class Operation:
     recovery and replicas replay to identical shard placement without
     re-running the routing policy. ``None`` means "derive by stable
     hash" — the stateless default.
+
+    ``ingest_ts`` is the freshness watermark: the wall-clock instant
+    (``time.time()`` — the cross-process clock domain, see
+    :mod:`repro.obs`) the primary *accepted* the operation. Stamped by
+    the service at ingest, never by a log backend, so replaying or
+    re-appending the same record preserves the original watermark.
+    ``None`` means unstamped (raw constructor output, or a record
+    written before watermarks existed) — every consumer treats that as
+    "no freshness information", not as time zero.
     """
 
     kind: str
@@ -45,6 +54,7 @@ class Operation:
     payload: Any = None
     seq: int = 0
     shard: int | None = None
+    ingest_ts: float | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -56,16 +66,27 @@ class Operation:
             raise ValueError(f"{self.kind} operations require a payload")
 
     def with_seq(self, seq: int) -> "Operation":
-        return Operation(self.kind, self.obj_id, self.payload, seq, self.shard)
+        return Operation(
+            self.kind, self.obj_id, self.payload, seq, self.shard, self.ingest_ts
+        )
 
     def with_shard(self, shard: int) -> "Operation":
-        return Operation(self.kind, self.obj_id, self.payload, self.seq, shard)
+        return Operation(
+            self.kind, self.obj_id, self.payload, self.seq, shard, self.ingest_ts
+        )
+
+    def with_ingest_ts(self, ingest_ts: float) -> "Operation":
+        return Operation(
+            self.kind, self.obj_id, self.payload, self.seq, self.shard, ingest_ts
+        )
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         data = {"seq": self.seq, "kind": self.kind, "id": self.obj_id}
         if self.shard is not None:
             data["shard"] = self.shard
+        if self.ingest_ts is not None:
+            data["ts"] = self.ingest_ts
         if self.kind not in _PAYLOADLESS:
             data["payload"] = encode_payload(self.payload)
         return data
@@ -73,6 +94,7 @@ class Operation:
     @classmethod
     def from_dict(cls, data: dict) -> "Operation":
         shard = data.get("shard")
+        ingest_ts = data.get("ts")
         return cls(
             kind=data["kind"],
             obj_id=int(data["id"]),
@@ -83,6 +105,7 @@ class Operation:
             ),
             seq=int(data["seq"]),
             shard=int(shard) if shard is not None else None,
+            ingest_ts=float(ingest_ts) if ingest_ts is not None else None,
         )
 
 

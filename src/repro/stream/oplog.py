@@ -48,6 +48,15 @@ class LogBackend:
     #: Sequence number of the last durable record (0 when empty).
     last_seq: int
 
+    #: Freshness watermark: the ``ingest_ts`` of the newest durable
+    #: record that carries one (``None`` when the log is empty or
+    #: predates watermarks). Wall-clock domain — see "Clock domains" in
+    #: :mod:`repro.obs`. Recovered from the tail scan on open and
+    #: advanced by every append, so the shipper can stamp segments and
+    #: heartbeats with "the primary's log is fresh through T" without
+    #: re-reading the log.
+    last_watermark_ts: float | None = None
+
     #: Observability recorder; the zero-cost no-op by default. The
     #: owning service replaces it so append/fsync latencies land in the
     #: shared telemetry snapshot.
@@ -171,6 +180,9 @@ class OperationLog(LogBackend):
                     break
                 valid_end += len(raw)
                 last_seq = int(data["seq"])
+                ts = data.get("ts")
+                if ts is not None:
+                    self.last_watermark_ts = float(ts)
             handle.truncate(valid_end)
         return last_seq
 
@@ -196,18 +208,23 @@ class OperationLog(LogBackend):
         stamped = []
         lines = []
         seq = self.last_seq
+        watermark = self.last_watermark_ts
         for operation in operations:
             seq += 1
             stamped_op = operation.with_seq(seq)
             stamped.append(stamped_op)
             lines.append(json.dumps(stamped_op.to_dict()))
+            if stamped_op.ingest_ts is not None:
+                watermark = stamped_op.ingest_ts
         self._write_lines(lines)
         self.last_seq = seq
+        self.last_watermark_ts = watermark
         return stamped
 
     def append_stamped(self, operations: Sequence[Operation]) -> int:
         lines = []
         seq = self.last_seq
+        watermark = self.last_watermark_ts
         for operation in operations:
             if operation.seq != seq + 1:
                 raise ValueError(
@@ -216,8 +233,11 @@ class OperationLog(LogBackend):
                 )
             seq = operation.seq
             lines.append(json.dumps(operation.to_dict()))
+            if operation.ingest_ts is not None:
+                watermark = operation.ingest_ts
         self._write_lines(lines)
         self.last_seq = seq
+        self.last_watermark_ts = watermark
         return len(lines)
 
     def iter_from(self, after_seq: int = 0) -> Iterator[Operation]:

@@ -32,6 +32,14 @@ import time
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
+from repro.obs.health import (
+    HealthRegistry,
+    check_backlog,
+    check_checkpoints,
+    check_oplog,
+)
+from repro.obs.logging import NULL_LOGGER, StructuredLogger
+from repro.obs.server import ObsServer, parse_listen
 from repro.obs.telemetry import TELEMETRY_SETTINGS, make_telemetry
 
 from .batching import MicroBatcher, RoundOps
@@ -108,6 +116,22 @@ class StreamConfig:
         point across services (primary + replicas + shipper), which is
         how :class:`~repro.replica.ReplicatedClusteringService` merges
         the whole topology into a single snapshot.
+    obs_server:
+        ``"host:port"`` to serve the operational surface over HTTP
+        (``/metrics``, ``/metrics.json``, ``/traces``, ``/healthz``,
+        ``/readyz``); port 0 picks a free port (read it back from
+        :attr:`ClusteringService.obs_address`). ``None`` (default)
+        serves nothing.
+    node_name:
+        This service's name in the topology — the ``replica`` label on
+        ``e2e_visibility_seconds`` and the watermark gauges, and the
+        structured-log component. Defaults to ``"primary"``;
+        :class:`~repro.replica.ReadReplica` stamps its own name into
+        the config it builds.
+    log_stream:
+        Writable text stream for structured JSON-lines logs
+        (``sys.stderr``, an open file…); ``None`` (default) disables
+        logging. See :class:`repro.obs.StructuredLogger`.
     """
 
     n_shards: int = 2
@@ -123,8 +147,13 @@ class StreamConfig:
     keep_checkpoints: int = 3
     compact_on_checkpoint: bool = True
     telemetry: Any = None
+    obs_server: str | None = None
+    node_name: str = "primary"
+    log_stream: Any = None
 
     def __post_init__(self) -> None:
+        if self.obs_server is not None:
+            parse_listen(self.obs_server)  # fail fast on a bad listen spec
         if self.telemetry not in TELEMETRY_SETTINGS and not hasattr(
             self.telemetry, "enabled"
         ):
@@ -226,6 +255,67 @@ class ClusteringService:
             self.checkpoints.obs = self.telemetry
         #: Sequence number of the last operation applied to a shard.
         self.applied_seq = 0
+        #: Freshness watermark of applied state: the newest
+        #: ``Operation.ingest_ts`` folded into a shard (wall clock;
+        #: ``None`` until a stamped operation is applied).
+        self.applied_watermark_ts: float | None = None
+        self.node_name = self.config.node_name
+        #: Structured JSON-lines logger; disabled (constant-time no-op)
+        #: unless ``config.log_stream`` is set.
+        self.logger = (
+            StructuredLogger(
+                f"stream.{self.node_name}",
+                self.config.log_stream,
+                telemetry=self.telemetry,
+            )
+            if self.config.log_stream is not None
+            else NULL_LOGGER
+        )
+        # Watermark instruments (no-ops on the null recorder): commit =
+        # newest ingest accepted by this node, applied = newest ingest
+        # visible to queries, and the end-to-end ingest→visible latency
+        # distribution per node.
+        self._commit_watermark = self.telemetry.gauge(
+            "commit_watermark_ts",
+            labels=("replica",),
+            help="Wall-clock ingest_ts of the newest operation accepted",
+        )
+        self._applied_watermark = self.telemetry.gauge(
+            "applied_watermark_ts",
+            labels=("replica",),
+            help="Wall-clock ingest_ts of the newest operation visible to queries",
+        )
+        self._visibility = self.telemetry.histogram(
+            "e2e_visibility_seconds",
+            labels=("replica",),
+            help="Seconds from primary ingest to queryable on this node",
+        )
+        #: Component health checks behind ``/readyz``.
+        self.health = HealthRegistry()
+        self.health.register("oplog", check_oplog(self.oplog))
+        self.health.register("checkpoints", check_checkpoints(self.checkpoints))
+        self.health.register(
+            "backlog",
+            check_backlog(self, max_pending=4 * self.config.batch_max_ops),
+        )
+        self.obs_server = (
+            ObsServer(
+                self.config.obs_server,
+                telemetry=self.telemetry,
+                health=self.health,
+                logger=self.logger if self.logger.enabled else None,
+            ).start()
+            if self.config.obs_server is not None
+            else None
+        )
+        if self.logger.enabled:
+            self.logger.info(
+                "service_started",
+                node=self.node_name,
+                n_shards=self.config.n_shards,
+                router=self.config.router,
+                obs_address=self.obs_address,
+            )
         #: True once any applied operation carried a routing stamp.
         #: Ingesting through a stateless hash router after that would
         #: route already-placed objects to the wrong shard, so ingest
@@ -234,6 +324,11 @@ class ClusteringService:
         self.placements_stamped = False
         # Ephemeral stamping when no oplog is configured.
         self._next_seq = 1
+
+    @property
+    def obs_address(self) -> str | None:
+        """Bound ``host:port`` of the obs HTTP server, ``None`` when off."""
+        return self.obs_server.address if self.obs_server is not None else None
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -265,6 +360,15 @@ class ClusteringService:
                 "operations for already-placed objects to the wrong shard "
                 "— recover/promote with router='least-loaded' instead"
             )
+        # Stamp the freshness watermark: one wall-clock read per ingest
+        # call, carried by every accepted operation through the log,
+        # segments and replica apply. Pre-stamped operations (tests
+        # injecting known times) keep their stamp.
+        now = time.time()
+        ops = [
+            op if op.ingest_ts is not None else op.with_ingest_ts(now)
+            for op in ops
+        ]
         obs = self.telemetry
         if not obs.enabled:
             # The undecorated hot path: telemetry off costs exactly this
@@ -295,6 +399,10 @@ class ClusteringService:
                     for offset, op in enumerate(ops)
                 ]
                 self._next_seq += len(ops)
+            if ops:
+                self._commit_watermark.labels(replica=self.node_name).set(
+                    ops[-1].ingest_ts
+                )
             self.metrics.events_ingested += len(ops)
             self.batcher.extend(ops)
             self._apply_ready()
@@ -359,7 +467,28 @@ class ClusteringService:
             for obj_id in round_ops.removed:
                 self.membership.discard(obj_id)
             shard.last_applied_seq = slice_ops[-1].seq
+            if slice_ops[-1].ingest_ts is not None:
+                shard.last_applied_ts = slice_ops[-1].ingest_ts
         self.applied_seq = batch[-1].seq
+        # Advance the applied watermark to the newest stamped operation
+        # in the batch. Clamped >= 0 on the way into the histogram: the
+        # watermark is wall-clock time from another process, and skew
+        # must read as "very fresh", never as negative latency.
+        batch_watermark = None
+        for op in batch:
+            if op.ingest_ts is not None:
+                batch_watermark = op.ingest_ts
+        if batch_watermark is not None:
+            self.applied_watermark_ts = batch_watermark
+            if obs.enabled:
+                self._applied_watermark.labels(replica=self.node_name).set(
+                    batch_watermark
+                )
+                visibility = self._visibility.labels(replica=self.node_name)
+                applied_at = time.time()
+                for op in batch:
+                    if op.ingest_ts is not None:
+                        visibility.record(max(0.0, applied_at - op.ingest_ts))
         self.metrics.batches_applied += 1
         self.metrics.batch_latency.record(time.perf_counter() - start)
 
@@ -405,6 +534,10 @@ class ClusteringService:
             router=self.config.router,
             routing=self.router.stats(),
             applied_seq=self.applied_seq,
+            applied_watermark_ts=self.applied_watermark_ts,
+            commit_watermark_ts=(
+                self.oplog.last_watermark_ts if self.oplog is not None else None
+            ),
             last_seq=self.oplog.last_seq if self.oplog is not None else self._next_seq - 1,
             pending_ops=len(self.batcher),
             pending_oldest_age_s=self.batcher.oldest_age(),
@@ -482,6 +615,7 @@ class ClusteringService:
             raise RuntimeError("service has no checkpoint_dir configured")
         state = {
             "applied_seq": self.applied_seq,
+            "applied_watermark_ts": self.applied_watermark_ts,
             "n_shards": self.config.n_shards,
             # Round boundaries depend on these, so recovery must run
             # with the same values or replay would re-cut differently.
@@ -496,6 +630,8 @@ class ClusteringService:
         }
         with self.telemetry.span("checkpoint.save", applied_seq=self.applied_seq):
             path = self.checkpoints.save(state)
+        if self.logger.enabled:
+            self.logger.info("checkpoint_saved", applied_seq=self.applied_seq)
         if self.oplog is not None and self.config.compact_on_checkpoint:
             # Compact only past the *oldest retained* snapshot, not the
             # newest: falling back to an older checkpoint (e.g. when the
@@ -556,6 +692,10 @@ class ClusteringService:
                 for shard_state in state["shards"]
             ]
             service.applied_seq = int(state["applied_seq"])
+            watermark = state.get("applied_watermark_ts")
+            service.applied_watermark_ts = (
+                float(watermark) if watermark is not None else None
+            )
             restored_ids = [list(shard.object_ids()) for shard in service.shards]
             service.membership.rebuild(restored_ids)
             service.router.rebuild(restored_ids)
@@ -581,6 +721,10 @@ class ClusteringService:
         return service
 
     def close(self) -> None:
+        if self.logger.enabled:
+            self.logger.info("service_closing", applied_seq=self.applied_seq)
+        if self.obs_server is not None:
+            self.obs_server.close()
         if self.oplog is not None:
             self.oplog.close()
         if self.checkpoints is not None:

@@ -48,6 +48,11 @@ class StreamShard:
         #: Highest oplog seq in any round routed to this shard (set by
         #: the service on apply; feeds ``stats()`` and replica ``lag()``).
         self.last_applied_seq = 0
+        #: Freshness watermark of this shard: ``ingest_ts`` of the
+        #: newest stamped operation applied here (wall clock; ``None``
+        #: until one arrives). Set by the service alongside
+        #: :attr:`last_applied_seq`.
+        self.last_applied_ts: float | None = None
 
     # ------------------------------------------------------------------
     def apply(self, ops: RoundOps) -> tuple[str, float, RoundStats | None]:
@@ -122,6 +127,7 @@ class StreamShard:
             "rounds_seen": self.rounds_seen,
             "trained": self.trained,
             "last_applied_seq": self.last_applied_seq,
+            "last_applied_ts": self.last_applied_ts,
             "payloads": [
                 [obj_id, encode_payload(self.engine.graph.payload(obj_id))]
                 for obj_id in self.engine.graph.object_ids()
@@ -143,6 +149,8 @@ class StreamShard:
         shard.trained = bool(state["trained"])
         # Absent in pre-replication checkpoints.
         shard.last_applied_seq = int(state.get("last_applied_seq", 0))
+        ts = state.get("last_applied_ts")
+        shard.last_applied_ts = float(ts) if ts is not None else None
         graph = shard.engine.graph
         for obj_id, payload in state["payloads"]:
             graph.add_object(int(obj_id), decode_payload(payload))

@@ -74,6 +74,8 @@ class SqliteOperationLog(LogBackend):
                 torn_seq = seq
                 break
             last_seq = seq
+            if operation.ingest_ts is not None:
+                self.last_watermark_ts = operation.ingest_ts
         if torn_seq is not None:
             self._conn.execute("BEGIN")
             self._conn.execute("DELETE FROM oplog WHERE seq >= ?", (torn_seq,))
@@ -105,18 +107,23 @@ class SqliteOperationLog(LogBackend):
         stamped = []
         rows = []
         seq = self.last_seq
+        watermark = self.last_watermark_ts
         for operation in operations:
             seq += 1
             stamped_op = operation.with_seq(seq)
             stamped.append(stamped_op)
             rows.append((seq, json.dumps(stamped_op.to_dict())))
+            if stamped_op.ingest_ts is not None:
+                watermark = stamped_op.ingest_ts
         self._insert(rows)
         self.last_seq = seq
+        self.last_watermark_ts = watermark
         return stamped
 
     def append_stamped(self, operations: Sequence[Operation]) -> int:
         rows = []
         seq = self.last_seq
+        watermark = self.last_watermark_ts
         for operation in operations:
             if operation.seq != seq + 1:
                 raise ValueError(
@@ -125,8 +132,11 @@ class SqliteOperationLog(LogBackend):
                 )
             seq = operation.seq
             rows.append((seq, json.dumps(operation.to_dict())))
+            if operation.ingest_ts is not None:
+                watermark = operation.ingest_ts
         self._insert(rows)
         self.last_seq = seq
+        self.last_watermark_ts = watermark
         return len(rows)
 
     def iter_from(self, after_seq: int = 0) -> Iterator[Operation]:

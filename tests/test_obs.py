@@ -481,3 +481,300 @@ class TestEndToEndAcceptance:
         assert {"service", "replica-0"} <= tids
         names = {event["name"] for event in trace["traceEvents"]}
         assert "stream.ingest" in names and "replica.poll" in names
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition correctness (escaping, HELP/TYPE pairing)
+# ---------------------------------------------------------------------------
+HOSTILE_LABELS = [
+    'plain',
+    'back\\slash',
+    'quo"te',
+    'new\nline',
+    'all\\three" at\nonce',
+]
+
+
+def parse_prometheus(text: str) -> dict:
+    """A deliberately strict parser for the exposition subset we emit.
+
+    Returns {full_metric_name: {frozenset(label pairs): value}} and
+    asserts the structural rules a real Prometheus scraper enforces:
+    every sample belongs to a # TYPE'd (and # HELP'd) family, label
+    values are correctly quoted/escaped, and HELP precedes TYPE.
+    """
+    samples: dict = {}
+    helped: set[str] = set()
+    typed: set[str] = set()
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            name = line.split(" ", 3)[2]
+            assert name not in typed, f"HELP after TYPE for {name}"
+            helped.add(name)
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert kind in ("counter", "gauge", "summary", "untyped"), line
+            assert name in helped, f"TYPE without HELP for {name}"
+            typed.add(name)
+            continue
+        assert not line.startswith("#"), f"unknown comment {line!r}"
+        body, _, value = line.rpartition(" ")
+        float(value)  # must parse
+        if "{" in body:
+            name, _, label_text = body.partition("{")
+            assert label_text.endswith("}"), line
+            labels = {}
+            rest = label_text[:-1]
+            while rest:
+                key, _, rest = rest.partition('="')
+                # Walk the quoted value, honouring backslash escapes.
+                out, index = [], 0
+                while index < len(rest):
+                    char = rest[index]
+                    if char == "\\":
+                        escape = rest[index + 1]
+                        assert escape in ('\\', '"', 'n'), f"bad escape in {line!r}"
+                        out.append({"\\": "\\", '"': '"', "n": "\n"}[escape])
+                        index += 2
+                    elif char == '"':
+                        break
+                    else:
+                        out.append(char)
+                        index += 1
+                else:
+                    raise AssertionError(f"unterminated label value in {line!r}")
+                labels[key] = "".join(out)
+                rest = rest[index + 1 :].lstrip(",")
+            key = frozenset(labels.items())
+        else:
+            name, key = body, frozenset()
+        base = name
+        for suffix in ("_count", "_sum"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+        assert base in typed, f"sample {name} outside any TYPE'd family"
+        samples.setdefault(name, {})[key] = float(value)
+    return samples
+
+
+class TestExpositionCorrectness:
+    def test_hostile_label_values_round_trip(self):
+        registry = MetricsRegistry()
+        family = registry.counter("ops_total", labels=("kind",), help="ops by kind")
+        for index, hostile in enumerate(HOSTILE_LABELS):
+            family.labels(kind=hostile).inc(index + 1)
+        samples = parse_prometheus(registry.to_prometheus(prefix="repro"))
+        decoded = {
+            dict(key)["kind"]: value
+            for key, value in samples["repro_ops_total"].items()
+        }
+        assert decoded == {
+            hostile: float(index + 1)
+            for index, hostile in enumerate(HOSTILE_LABELS)
+        }
+
+    def test_help_emitted_and_precedes_type_everywhere(self):
+        registry = MetricsRegistry()
+        registry.counter("events", help="ingested events").inc()
+        registry.gauge("depth").set(3)  # no help given: default text
+        registry.histogram("lat", labels=("op",), help="latency").labels(
+            op="x"
+        ).record(0.1)
+        registry.child("oplog").counter("appends", help="appends").inc()
+        text = registry.to_prometheus(prefix="repro")
+        parse_prometheus(text)  # asserts HELP-before-TYPE and full pairing
+        assert "# HELP repro_events ingested events" in text
+        assert "# HELP repro_depth depth" in text
+        assert "# HELP repro_oplog_appends appends" in text
+
+    def test_help_text_newlines_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("odd", help="line one\nline two \\ slash").inc()
+        text = registry.to_prometheus(prefix="repro")
+        help_lines = [l for l in text.splitlines() if l.startswith("# HELP repro_odd")]
+        assert help_lines == ["# HELP repro_odd line one\\nline two \\\\ slash"]
+
+    def test_snapshot_flattener_emits_parseable_untyped(self):
+        snapshot = {"applied_seq": 7, "shards": [{"objects": 2}, {"objects": 3}]}
+        samples = parse_prometheus(snapshot_to_prometheus(snapshot, prefix="repro"))
+        assert samples["repro_applied_seq"][frozenset()] == 7.0
+        assert samples["repro_shards_objects"][frozenset({("index", "0")})] == 2.0
+
+    def test_live_service_scrape_parses_strictly(self, tmp_path):
+        factory, events = access_events()
+        service = ClusteringService(
+            factory,
+            StreamConfig(
+                n_shards=2,
+                batch_max_ops=32,
+                train_rounds=2,
+                oplog_path=tmp_path / "oplog.jsonl",
+                telemetry="on",
+            ),
+        )
+        service.ingest(events[:120])
+        service.flush()
+        samples = parse_prometheus(service.telemetry.to_prometheus())
+        assert samples["repro_span_seconds_count"], "span histograms missing"
+        service.close()
+
+
+# ---------------------------------------------------------------------------
+# Bounded buffers account their drops (satellite: explicit drop counters)
+# ---------------------------------------------------------------------------
+class TestDropAccounting:
+    def test_trace_ring_eviction_counts_into_obs_dropped_spans_total(self):
+        telemetry = Telemetry(max_spans=4)
+        for index in range(10):
+            with telemetry.span(f"s{index}"):
+                pass
+        snap = telemetry.snapshot()
+        assert snap["trace"]["spans_recorded"] == 10
+        assert snap["trace"]["spans_dropped"] == 6
+        assert snap["metrics"]["obs_dropped_spans_total"] == 6
+        assert "repro_obs_dropped_spans_total 6" in telemetry.to_prometheus()
+
+    def test_no_drops_below_capacity(self):
+        telemetry = Telemetry(max_spans=16)
+        for _ in range(16):
+            with telemetry.span("s"):
+                pass
+        assert telemetry.snapshot()["metrics"]["obs_dropped_spans_total"] == 0
+
+    def test_log_rate_limit_drops_counted_and_reported_in_band(self):
+        import io
+
+        from repro.obs import LogRateLimiter, StructuredLogger
+
+        ticks = iter([i * 0.001 for i in range(1000)])  # effectively frozen clock
+        telemetry = Telemetry()
+        stream = io.StringIO()
+        logger = StructuredLogger(
+            "comp",
+            stream,
+            telemetry=telemetry,
+            limiter=LogRateLimiter(rate=1.0, burst=3, clock=lambda: next(ticks)),
+        )
+        results = [logger.info("e", i=i) for i in range(10)]
+        assert results.count(True) == 3 and results.count(False) == 7
+        assert logger.lines_dropped == 7
+        counters = telemetry.snapshot()["metrics"]["obs_dropped_logs_total"]
+        assert counters == {"component=comp": 7}
+        # The drop count surfaces in-band on the next emitted line.
+        logger.error("after")  # error bypasses the limiter
+        last = json.loads(stream.getvalue().splitlines()[-1])
+        assert last["dropped_since_last"] == 7
+
+
+# ---------------------------------------------------------------------------
+# Structured logging
+# ---------------------------------------------------------------------------
+class TestStructuredLogging:
+    def make_logger(self, **kwargs):
+        import io
+
+        from repro.obs import LogRateLimiter, StructuredLogger
+
+        stream = io.StringIO()
+        kwargs.setdefault("limiter", LogRateLimiter(rate=0))  # unlimited
+        return StructuredLogger("stream.primary", stream, **kwargs), stream
+
+    def test_one_json_object_per_line_with_schema(self):
+        logger, stream = self.make_logger()
+        logger.info("batch_applied", seq=42, shard=1)
+        logger.warning("slow", elapsed=1.5)
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["event"] == "batch_applied"
+        assert lines[0]["component"] == "stream.primary"
+        assert lines[0]["level"] == "info"
+        assert lines[0]["seq"] == 42 and lines[0]["shard"] == 1
+        assert lines[0]["ts"] > 0 and lines[0]["elapsed_s"] >= 0
+        assert lines[1]["level"] == "warning"
+
+    def test_span_correlation_ids_attached_inside_spans_only(self):
+        telemetry = Telemetry()
+        logger, stream = self.make_logger(telemetry=telemetry)
+        logger.info("outside")
+        with telemetry.span("work"):
+            logger.info("inside")
+        outside, inside = [
+            json.loads(line) for line in stream.getvalue().splitlines()
+        ]
+        assert "trace" not in outside and "span" not in outside
+        assert inside["trace"] == telemetry.trace_id
+        assert inside["span"] == "work"
+        assert inside["span_id"] >= 1
+        # The logged span_id matches the recorded span's id.
+        assert inside["span_id"] in {s.span_id for s in telemetry.tracer.spans}
+
+    def test_elapsed_uses_monotonic_domain(self):
+        # A wall clock jumping backwards must not produce negative elapsed.
+        wall = iter([1000.0, 900.0, 800.0])
+        mono = iter([5.0, 6.0, 7.0])
+        logger, stream = self.make_logger(
+            clock=lambda: next(wall), mono=lambda: next(mono)
+        )
+        logger.info("a")
+        logger.info("b")
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert [line["elapsed_s"] for line in lines] == [1.0, 2.0]
+
+    def test_disabled_and_broken_streams_never_raise(self):
+        from repro.obs import NULL_LOGGER, StructuredLogger
+
+        assert NULL_LOGGER.info("anything", x=1) is False
+        logger, stream = self.make_logger()
+        stream.close()
+        assert logger.info("onto closed stream") is False
+        assert logger.lines_dropped == 1
+
+    def test_non_json_fields_are_stringified(self):
+        logger, stream = self.make_logger()
+        logger.info("odd", path=__import__("pathlib").Path("/tmp/x"), ok=[1, 2])
+        line = json.loads(stream.getvalue())
+        assert line["path"] == "/tmp/x"
+        assert line["ok"] == [1, 2]
+
+    def test_child_shares_stream_and_limiter(self):
+        from repro.obs import LogRateLimiter
+
+        logger, stream = self.make_logger(limiter=LogRateLimiter(rate=1.0, burst=2, clock=lambda: 0.0))
+        child = logger.child("stream.replica-0")
+        assert logger.info("a") and child.info("b")
+        assert child.info("c") is False  # shared bucket exhausted
+        components = [
+            json.loads(line)["component"] for line in stream.getvalue().splitlines()
+        ]
+        assert components == ["stream.primary", "stream.replica-0"]
+
+    def test_service_emits_logs_when_configured(self, tmp_path):
+        import io
+
+        stream = io.StringIO()
+        factory, events = access_events()
+        service = ClusteringService(
+            factory,
+            StreamConfig(
+                n_shards=2,
+                batch_max_ops=32,
+                train_rounds=2,
+                oplog_path=tmp_path / "oplog.jsonl",
+                checkpoint_dir=tmp_path / "ckpt",
+                log_stream=stream,
+            ),
+        )
+        service.ingest(events[:80])
+        service.checkpoint()
+        service.close()
+        events = [json.loads(line)["event"] for line in stream.getvalue().splitlines()]
+        assert events[0] == "service_started"
+        assert "checkpoint_saved" in events
+        assert events[-1] == "service_closing"
+        components = {
+            json.loads(line)["component"] for line in stream.getvalue().splitlines()
+        }
+        assert components == {"stream.primary"}
