@@ -1,0 +1,181 @@
+"""Multi-tenant serve-layer scale — many tenants through one front door.
+
+Not a paper figure: this benchmarks `repro.serve` so future scheduling
+PRs have a trajectory to beat. A zipfian tenant/key-skewed stream (the
+shape multi-tenant entity-resolution traffic actually has — a few hot
+namespaces, hot keys within each) is driven through three topologies:
+
+* **ephemeral** — every tenant pool resident, no durability;
+* **durable** — shared tenant-stamped oplog + per-tenant checkpoints;
+* **durable+LRU** — the same with a resident-pool cap of a third of
+  the tenants, so the hot/cold skew exercises activation churn
+  (evictions checkpoint out, reloads replay the shared-log suffix).
+
+A fourth pass pins admission control: a tight per-tenant rate quota
+under the same skew, counting typed rejections per tenant. Emits a
+table plus ``benchmarks/results/tenant_scale.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.clustering.objectives import DBIndexObjective
+from repro.core import DynamicC
+from repro.data.generators import generate_access
+from repro.data.workload import OperationMix, tenant_stream
+from repro.errors import QuotaExceeded
+from repro.eval import render_table
+from repro.serve import Service
+
+import _config as config
+from conftest import RESULTS_DIR
+
+N_TENANTS = config.scaled(8)
+N_OPS = config.scaled(1000)
+TENANT_SKEW = 1.1
+KEY_SKEW = 1.1
+CUT = dict(n_shards=2, batch_max_ops=32, train_rounds=2)
+
+
+def _drive(service, stream) -> dict:
+    rejected: dict[str, int] = {}
+    start = time.perf_counter()
+    for tenant, op in stream:
+        try:
+            service.tenant(tenant).ingest([op])
+        except QuotaExceeded as exc:
+            rejected[exc.tenant] = rejected.get(exc.tenant, 0) + 1
+    service.flush()
+    wall = time.perf_counter() - start
+    return {"wall_s": wall, "rejected": rejected}
+
+
+def _run(label: str, dataset, stream, **serve_kwargs) -> dict:
+    def factory():
+        return DynamicC(dataset.graph(), DBIndexObjective(), seed=0)
+
+    with Service.open(engine_factory=factory, **CUT, **serve_kwargs) as svc:
+        run = _drive(svc, stream)
+        stats = svc.stats()
+        per_tenant_ops = {
+            name: snap.get("ops_total", 0)
+            for name, snap in stats["tenants"].items()
+            if snap["resident"]
+        }
+        return {
+            "label": label,
+            "tenants": N_TENANTS,
+            "ops": len(stream),
+            "wall_s": run["wall_s"],
+            "ops_per_s": len(stream) / run["wall_s"],
+            "ops_accepted": stats["ops_total"],
+            "resident_tenants": stats["resident_tenants"],
+            "max_resident_tenants": stats["max_resident_tenants"],
+            "activations_total": stats["activations_total"],
+            "evictions_total": stats["evictions_total"],
+            "quota_rejections_total": stats["quota_rejections_total"],
+            "quota_rejections": stats["quota_rejections"],
+            "rejected_per_tenant": run["rejected"],
+            "backlog": stats["backlog"],
+            "ingest_p95_ms": stats["p95_s"] * 1e3,
+            "resident_ops": per_tenant_ops,
+        }
+
+
+def test_tenant_scale(emit, tmp_path):
+    dataset = generate_access(n_profiles=8, n_records=600, seed=3)
+    stream = tenant_stream(
+        dataset,
+        n_tenants=N_TENANTS,
+        n_ops=N_OPS,
+        tenant_skew=TENANT_SKEW,
+        key_skew=KEY_SKEW,
+        mix=OperationMix(add=0.60, remove=0.15, update=0.25),
+        seed=17,
+    )
+
+    cap = max(N_TENANTS // 3, 1)
+    results = [
+        _run("ephemeral", dataset, stream),
+        _run("durable", dataset, stream, root_dir=tmp_path / "durable"),
+        _run(
+            f"durable+lru(cap={cap})",
+            dataset,
+            stream,
+            root_dir=tmp_path / "lru",
+            max_resident_tenants=cap,
+        ),
+        _run(
+            "durable+rate-quota",
+            dataset,
+            stream,
+            root_dir=tmp_path / "quota",
+            quota_ops_per_s=25.0,
+            quota_burst=N_OPS // N_TENANTS,
+        ),
+    ]
+
+    emit(
+        render_table(
+            [
+                "topology", "tenants", "ops", "wall s", "ops/s",
+                "resident", "activations", "evictions", "rejected",
+                "p95 ms",
+            ],
+            [
+                [
+                    r["label"],
+                    r["tenants"],
+                    r["ops"],
+                    r["wall_s"],
+                    r["ops_per_s"],
+                    r["resident_tenants"],
+                    r["activations_total"],
+                    r["evictions_total"],
+                    r["quota_rejections_total"],
+                    r["ingest_p95_ms"],
+                ]
+                for r in results
+            ],
+            title="\n== repro.serve multi-tenant ingest (zipfian skew) ==",
+            precision=1,
+        )
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "tenant_scale.json", "w") as handle:
+        json.dump(
+            {
+                "workload": {
+                    "dataset": "access",
+                    "n_tenants": N_TENANTS,
+                    "n_ops": N_OPS,
+                    "tenant_skew": TENANT_SKEW,
+                    "key_skew": KEY_SKEW,
+                },
+                "cut": CUT,
+                "results": results,
+            },
+            handle,
+            indent=2,
+        )
+        handle.write("\n")
+
+    ephemeral, durable, lru, quota = results
+    # Sanity pins, not perf gates (absolute numbers are host noise):
+    # every topology accepts the full stream except the quota run...
+    assert ephemeral["ops_accepted"] == len(stream)
+    assert durable["ops_accepted"] == len(stream)
+    assert lru["ops_accepted"] == len(stream)
+    assert quota["quota_rejections_total"] > 0
+    assert quota["ops_accepted"] + sum(quota["rejected_per_tenant"].values()) == len(
+        stream
+    )
+    # ...the LRU run respects its cap while churning through all
+    # tenants (reload activations beyond the first touch).
+    assert lru["resident_tenants"] <= cap
+    assert lru["evictions_total"] > 0
+    assert lru["activations_total"] > N_TENANTS
+    for r in results:
+        assert r["ops_per_s"] > 0

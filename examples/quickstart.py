@@ -1,7 +1,8 @@
 """Quickstart: DynamicC on the paper's own running example + a tiny workload.
 
 Walks through the complete life cycle on the 7-object example of
-Figures 1–2, then runs a small end-to-end dynamic workload:
+Figures 1–2, runs a small end-to-end dynamic workload, then serves the
+same engine through the public front door — ``repro.serve.Service``:
 
     python examples/quickstart.py
 """
@@ -90,3 +91,29 @@ for snapshot in workload.snapshots[3:]:
         f"{stats.verifications} objective checks"
     )
 print("done — DynamicC kept the clustering fresh without re-running the batch algorithm")
+
+# ---------------------------------------------------------------------------
+# 3. Serving it: the public front door is `repro.serve.Service`. One call
+#    opens the whole stack — sharded engines, micro-batched rounds, and
+#    (with root_dir=...) a durable tenant-stamped log — behind named
+#    tenant handles. See examples/multi_tenant_service.py for quotas,
+#    LRU activation and replicas.
+# ---------------------------------------------------------------------------
+from repro.serve import Service
+
+
+def engine_factory():
+    return DynamicC(dataset.graph(), DBIndexObjective(), seed=0)
+
+
+with Service.open(engine_factory=engine_factory, n_shards=2, batch_max_ops=32) as svc:
+    crm = svc.tenant("crm")
+    crm.ingest(
+        ("add", obj_id, payload) for obj_id, payload in workload.initial.items()
+    )
+    crm.flush()  # cut the pending partial batch as one round
+    print(
+        f"served: tenant {crm.name!r} holds {crm.num_objects()} objects "
+        f"in {len(crm.clusters())} clusters"
+    )
+

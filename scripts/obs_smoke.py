@@ -1,16 +1,20 @@
 #!/usr/bin/env python
 """CI smoke test for the live operational surface.
 
-Starts a real ReplicatedClusteringService with ``obs_server=`` on a
-free loopback port, pushes a small workload through it, then scrapes
-the endpoints over actual HTTP exactly the way a monitoring stack
-would:
+Two stages, each starting a real service with ``obs_server=`` on a
+free loopback port, pushing a workload through it, then scraping the
+endpoints over actual HTTP exactly the way a monitoring stack would:
 
-* ``/metrics`` must answer 200 with parseable Prometheus text that
-  contains the e2e visibility summary for the primary and the replica;
-* ``/metrics.json`` and ``/traces`` must answer 200 with valid JSON;
-* ``/healthz`` must answer 200;
-* ``/readyz`` must answer 200 with every health check reporting.
+1. the deprecated primary/replica façade (``ReplicatedClusteringService``
+   — must keep scraping identically through its migration window);
+2. the multi-tenant ``repro.serve.Service`` front door — the tenant-
+   labeled families (``tenant_ops_total``, ``quota_rejections_total``,
+   ``resident_tenants``…) and per-tenant health probes must be live.
+
+For both: ``/metrics`` must answer 200 with parseable Prometheus text
+containing the expected families; ``/metrics.json`` and ``/traces``
+must answer 200 with valid JSON; ``/healthz`` must answer 200; and
+``/readyz`` must answer 200 with every health check reporting.
 
 Exits non-zero (with a reason on stderr) on any failed expectation —
 wired into CI so "the scrape broke" is a red build, not a 3 a.m. page.
@@ -31,8 +35,14 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.clustering.objectives import DBIndexObjective  # noqa: E402
 from repro.core import DynamicC  # noqa: E402
 from repro.data.generators import generate_access  # noqa: E402
-from repro.data.workload import OperationMix, build_workload  # noqa: E402
+from repro.data.workload import (  # noqa: E402
+    OperationMix,
+    build_workload,
+    tenant_stream,
+)
+from repro.errors import QuotaExceeded  # noqa: E402
 from repro.replica import ReplicatedClusteringService  # noqa: E402
+from repro.serve import Service  # noqa: E402
 from repro.stream import StreamConfig  # noqa: E402
 
 
@@ -83,8 +93,8 @@ def validate_prometheus(text: str) -> dict[str, int]:
     return counts
 
 
-def main() -> int:
-    dataset = generate_access(n_profiles=6, n_records=240, seed=3)
+def facade_stage(dataset, factory) -> None:
+    """Stage 1: the deprecated primary/replica façade still scrapes."""
     workload = build_workload(
         dataset,
         initial_count=80,
@@ -92,10 +102,6 @@ def main() -> int:
         mixes=OperationMix(add=0.12, remove=0.03, update=0.03),
         seed=2,
     )
-
-    def factory():
-        return DynamicC(dataset.graph(), DBIndexObjective(), seed=0)
-
     with TemporaryDirectory() as scratch:
         root = Path(scratch)
         service = ReplicatedClusteringService(
@@ -140,6 +146,88 @@ def main() -> int:
                 fail(f"replica check missing from /readyz: {report}")
         finally:
             service.close()
+    print("facade surface OK", file=sys.stderr)
+
+
+def serve_stage(dataset, factory) -> None:
+    """Stage 2: the multi-tenant Service front door scrapes with
+    tenant-labeled families and per-tenant health probes."""
+    stream = tenant_stream(
+        dataset,
+        n_tenants=3,
+        n_ops=150,
+        mix=OperationMix(add=0.60, remove=0.15, update=0.25),
+        seed=5,
+    )
+    with TemporaryDirectory() as scratch:
+        service = Service.open(
+            engine_factory=factory,
+            n_shards=2,
+            batch_max_ops=32,
+            train_rounds=2,
+            root_dir=Path(scratch) / "state",
+            telemetry="on",
+            obs_server="127.0.0.1:0",
+            quota_max_pending=64,
+        )
+        try:
+            for tenant, op in stream:
+                service.tenant(tenant).ingest([op])
+            service.flush()
+            service.tenant("tenant-000").add_replica(name="t0")
+            service.sync()
+            # Provoke one typed rejection so the rejection family has
+            # a labeled sample to scrape.
+            try:
+                service.tenant("tenant-000").ingest(
+                    [("add", 9000 + i, (0.0, 0.0, 0.0)) for i in range(65)]
+                )
+            except QuotaExceeded:
+                pass
+            else:
+                fail("oversized batch was not rejected by the backlog quota")
+
+            address = service.obs_address
+            print(f"scraping http://{address} (serve)", file=sys.stderr)
+            text = scrape(address, "/metrics").decode()
+            counts = validate_prometheus(text)
+            for family in (
+                "repro_tenant_ops_total",
+                "repro_quota_rejections_total",
+                "repro_tenant_activations_total",
+                "repro_resident_tenants",
+            ):
+                if family not in counts:
+                    fail(f"{family} missing from serve /metrics")
+            if 'tenant="tenant-000"' not in text:
+                fail("no tenant-labeled sample on the serve /metrics surface")
+
+            json.loads(scrape(address, "/metrics.json"))
+            trace = json.loads(scrape(address, "/traces"))
+            if "traceEvents" not in trace:
+                fail("/traces is not a Chrome trace")
+            json.loads(scrape(address, "/healthz"))
+
+            report = json.loads(scrape(address, "/readyz"))
+            if not report.get("ready"):
+                fail(f"serve /readyz not ready: {report}")
+            checks = report.get("checks", {})
+            for check in ("oplog", "residency", "tenant:tenant-000"):
+                if check not in checks:
+                    fail(f"{check!r} check missing from serve /readyz: {report}")
+        finally:
+            service.close()
+    print("serve surface OK", file=sys.stderr)
+
+
+def main() -> int:
+    dataset = generate_access(n_profiles=6, n_records=240, seed=3)
+
+    def factory():
+        return DynamicC(dataset.graph(), DBIndexObjective(), seed=0)
+
+    facade_stage(dataset, factory)
+    serve_stage(dataset, factory)
     print("obs smoke OK", file=sys.stderr)
     return 0
 

@@ -30,6 +30,12 @@ Public API tour
   over pluggable transports, read replicas with explicit lag, and the
   :class:`~repro.replica.ReplicatedClusteringService` primary/replica
   façade with follower→primary failover.
+* :mod:`repro.serve` — **the public front door**: multi-tenant
+  namespaces behind one :class:`~repro.serve.Service` — per-tenant
+  engine pools over a shared tenant-stamped log, admission quotas,
+  LRU activation, tenant-filtered replicas, and one consolidated
+  :class:`~repro.serve.ServeConfig`. The older per-layer façades keep
+  working with a ``DeprecationWarning``.
 """
 
 from repro.clustering import Clustering
@@ -48,16 +54,19 @@ from repro.core import (
     make_dynamic_dbscan,
 )
 from repro.data import build_workload
+from repro.errors import ConfigError, QuotaExceeded, ServeError, UnknownTenantError
 from repro.replica import ReadReplica, ReplicatedClusteringService
+from repro.serve import ServeConfig, Service, TenantHandle, TenantManager
 from repro.similarity import SimilarityGraph
 from repro.stream import ClusteringService, Operation, StreamConfig
 
-__version__ = "1.2.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "DBSCAN",
     "Clustering",
     "ClusteringService",
+    "ConfigError",
     "CorrelationObjective",
     "DBIndexObjective",
     "DynamicC",
@@ -70,10 +79,17 @@ __all__ = [
     "NaiveIncremental",
     "ObjectiveFunction",
     "Operation",
+    "QuotaExceeded",
     "ReadReplica",
     "ReplicatedClusteringService",
+    "ServeConfig",
+    "ServeError",
+    "Service",
     "SimilarityGraph",
     "StreamConfig",
+    "TenantHandle",
+    "TenantManager",
+    "UnknownTenantError",
     "build_workload",
     "make_dynamic_dbscan",
     "__version__",

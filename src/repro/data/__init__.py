@@ -1,7 +1,14 @@
 """Datasets, records, and dynamic workloads (Table 1 + §7.2)."""
 
 from .records import Dataset, Record
-from .workload import DynamicWorkload, OperationMix, Snapshot, build_workload
+from .workload import (
+    DynamicWorkload,
+    OperationMix,
+    Snapshot,
+    build_workload,
+    tenant_stream,
+    zipf_weights,
+)
 
 __all__ = [
     "Dataset",
@@ -10,4 +17,6 @@ __all__ = [
     "Record",
     "Snapshot",
     "build_workload",
+    "tenant_stream",
+    "zipf_weights",
 ]

@@ -194,3 +194,128 @@ def build_workload(
             Snapshot(added=added, removed=removed_ids, updated=updated)
         )
     return DynamicWorkload(dataset=dataset, initial=initial, snapshots=snapshots)
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant workloads (repro.serve)
+# ---------------------------------------------------------------------------
+def zipf_weights(n: int, skew: float) -> np.ndarray:
+    """Normalised Zipf(s=``skew``) rank probabilities over ``n`` items.
+
+    ``skew=0`` is uniform; realistic tenant/key popularity sits around
+    1.0–1.3. Computed as an explicit pmf (not ``rng.zipf``, whose
+    support is unbounded) so draws index a finite rank table.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if skew < 0:
+        raise ValueError("skew must be >= 0")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks**-skew
+    return weights / weights.sum()
+
+
+def tenant_stream(
+    dataset: Dataset,
+    n_tenants: int,
+    n_ops: int,
+    *,
+    tenant_skew: float = 1.1,
+    key_skew: float = 1.1,
+    mix: OperationMix | None = None,
+    seed: int = 0,
+) -> list[tuple[str, Any]]:
+    """An interleaved multi-tenant operation stream with Zipfian skew.
+
+    The workload shape :mod:`repro.serve` is built for: a few hot
+    tenants dominate traffic (rank-Zipf with exponent ``tenant_skew``),
+    each tenant hammers a few hot keys (``key_skew`` over a
+    tenant-specific preference order, so hot keys *differ* per tenant),
+    and per-tenant churn follows ``mix`` — removes and updates hit live
+    objects, adds consume unseen records. Returns ``(tenant_name,
+    operation)`` pairs in arrival order; tenants reuse the same record
+    ids freely because the serve layer namespaces them.
+
+    Deterministic for a given ``seed`` — the property multi-tenant
+    isolation tests rely on (the same stream filtered to one tenant
+    must equal that tenant run alone).
+    """
+    from repro.stream import events  # deferred: stream sits above data
+
+    if n_tenants < 1:
+        raise ValueError("n_tenants must be >= 1")
+    if n_ops < 0:
+        raise ValueError("n_ops must be >= 0")
+    if not dataset.records:
+        raise ValueError("dataset has no records to draw from")
+    if mix is None:
+        mix = OperationMix()
+    total = mix.add + mix.remove + mix.update
+    if total <= 0:
+        raise ValueError("OperationMix percentages must sum to > 0")
+    p_remove = mix.remove / total
+    p_update = mix.update / total
+
+    rng = np.random.default_rng(seed)
+    tenants = [f"tenant-{index:03d}" for index in range(n_tenants)]
+    tenant_p = zipf_weights(n_tenants, tenant_skew)
+    records = list(dataset.records)
+    key_p = zipf_weights(len(records), key_skew)
+    # Each tenant ranks the keyspace in its own order: rank r of the
+    # key-Zipf maps to a different record per tenant.
+    orders = {
+        name: rng.permutation(len(records)) for name in tenants
+    }
+    live: dict[str, set[int]] = {name: set() for name in tenants}
+    originals = {record.id: record.payload for record in records}
+
+    out: list[tuple[str, Any]] = []
+    for _ in range(n_ops):
+        name = tenants[int(rng.choice(n_tenants, p=tenant_p))]
+        order = orders[name]
+        alive = live[name]
+        roll = float(rng.random())
+        if alive and roll < p_remove:
+            obj_id = _pick_live(rng, records, order, key_p, alive)
+            alive.discard(obj_id)
+            out.append((name, events.remove(obj_id)))
+        elif alive and roll < p_remove + p_update:
+            obj_id = _pick_live(rng, records, order, key_p, alive)
+            out.append(
+                (name, events.update(obj_id, dataset.corrupt(originals[obj_id], rng)))
+            )
+        else:
+            record = _pick_unseen(rng, records, order, key_p, alive)
+            if record is None:
+                # Keyspace exhausted for this tenant: degrade to churn.
+                obj_id = _pick_live(rng, records, order, key_p, alive)
+                out.append(
+                    (name, events.update(obj_id, dataset.corrupt(originals[obj_id], rng)))
+                )
+            else:
+                alive.add(record.id)
+                out.append((name, events.add(record.id, record.payload)))
+    return out
+
+
+def _pick_live(rng, records, order, key_p, alive) -> int:
+    """A live object id, hot-key biased (falls back to any live id)."""
+    for _ in range(8):
+        record = records[order[int(rng.choice(len(records), p=key_p))]]
+        if record.id in alive:
+            return record.id
+    return sorted(alive)[int(rng.integers(len(alive)))]
+
+
+def _pick_unseen(rng, records, order, key_p, alive):
+    """An unseen record, hot-key biased; ``None`` when all are live."""
+    if len(alive) >= len(records):
+        return None
+    for _ in range(8):
+        record = records[order[int(rng.choice(len(records), p=key_p))]]
+        if record.id not in alive:
+            return record
+    for index in order:
+        if records[index].id not in alive:
+            return records[index]
+    return None

@@ -1,0 +1,84 @@
+"""Typed errors shared across the service layers.
+
+Deliberately a leaf module (no intra-package imports): the stream,
+replica and serve layers all raise these, so they must sit below every
+one of them in the import graph.
+
+Design notes
+------------
+* :class:`ConfigError` subclasses :class:`ValueError` so call sites
+  (and tests) written against the historical ``ValueError`` contract of
+  ``StreamConfig`` keep working while new code can catch the precise
+  type.
+* :class:`QuotaExceeded` carries structured fields (tenant, reason,
+  limit, current) rather than only a message — a serving front end maps
+  it straight to an HTTP 429 with a machine-readable body, and the
+  ``reason`` doubles as the ``reason`` label on
+  ``quota_rejections_total``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ServeError(Exception):
+    """Base class for service-layer errors."""
+
+
+class ConfigError(ServeError, ValueError):
+    """A service configuration is invalid or self-contradictory.
+
+    Raised with an actionable message: what was wrong, what the valid
+    choices are, and (for unknown knobs) the closest valid spelling.
+    """
+
+
+class QuotaExceeded(ServeError, RuntimeError):
+    """A tenant's ingest was rejected by one of its quotas.
+
+    Attributes
+    ----------
+    tenant:
+        The tenant whose quota rejected the call.
+    reason:
+        Which quota fired: ``"ops_rate"`` (token bucket),
+        ``"max_objects"`` (live-object cap) or ``"backlog"`` (pending
+        micro-batch cap). Also the ``reason`` label on the
+        ``quota_rejections_total`` counter.
+    limit / current:
+        The configured bound and the value that tripped it.
+    retry_after_s:
+        For ``"ops_rate"`` only: seconds until the token bucket could
+        admit this batch (``None`` for hard caps, where retrying
+        without deleting data cannot succeed).
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        reason: str,
+        message: str,
+        *,
+        limit: Any = None,
+        current: Any = None,
+        retry_after_s: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason
+        self.limit = limit
+        self.current = current
+        self.retry_after_s = retry_after_s
+
+
+class UnknownTenantError(ServeError, KeyError):
+    """A tenant name that the service has never seen and cannot create."""
+
+
+__all__ = [
+    "ConfigError",
+    "QuotaExceeded",
+    "ServeError",
+    "UnknownTenantError",
+]

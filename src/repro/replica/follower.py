@@ -84,6 +84,7 @@ class FollowerDaemon:
         name: str = "follower",
         listen: str | None = None,
         poll_interval: float = 0.5,
+        tenant: str | None = None,
     ) -> None:
         if poll_interval <= 0:
             raise ValueError("poll_interval must be > 0")
@@ -91,7 +92,7 @@ class FollowerDaemon:
         self.poll_interval = poll_interval
         self.transport = MailboxTransport(spool)
         self.replica = ReadReplica(
-            engine_factory, config, self.transport, name=name
+            engine_factory, config, self.transport, name=name, tenant=tenant
         )
         self.logger = (
             self.replica.service.logger.child(f"follower.{name}")
@@ -282,6 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--shards", type=int, default=2, help="n_shards (must match the primary)")
     parser.add_argument("--batch-max-ops", type=int, default=256, help="round-cut budget (must match the primary)")
     parser.add_argument("--train-rounds", type=int, default=3, help="warmup rounds (must match the primary)")
+    parser.add_argument("--tenant", default=None, help="follow only this tenant's operations out of a shared multi-tenant spool (repro.serve primaries); implies an ephemeral follower (no --oplog)")
     parser.add_argument("--telemetry", action="store_true", help="collect span latencies and traces")
     parser.add_argument("--quiet", action="store_true", help="suppress structured logs on stderr")
     return parser
@@ -301,6 +303,8 @@ def main(argv: list[str] | None = None) -> int:
         node_name=args.name,
         log_stream=None if args.quiet else sys.stderr,
     )
+    if args.tenant is not None and args.oplog is not None:
+        raise SystemExit("--tenant followers are ephemeral: drop --oplog")
     daemon = FollowerDaemon(
         factory,
         config,
@@ -308,6 +312,7 @@ def main(argv: list[str] | None = None) -> int:
         name=args.name,
         listen=args.listen,
         poll_interval=args.poll_interval,
+        tenant=args.tenant,
     )
     print(
         f"follower {args.name!r} tailing {args.spool} — "

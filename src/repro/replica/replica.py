@@ -39,7 +39,11 @@ from typing import Callable
 from repro.obs.health import check_replica_lag
 from repro.obs.telemetry import make_telemetry
 from repro.stream.checkpoint import open_checkpoints
-from repro.stream.service import ClusteringService, StreamConfig
+from repro.stream.service import (
+    ClusteringService,
+    StreamConfig,
+    _internal_construction,
+)
 from repro.stream.shard import EngineFactory
 
 from .segment import LogSegment, ReplicationGap, SnapshotArtifact
@@ -77,12 +81,28 @@ class ReadReplica:
         snapshot: dict | None = None,
         max_lag_ops: int = 10_000,
         max_staleness_s: float = 60.0,
+        tenant: str | None = None,
     ) -> None:
         self.name = name
         self.transport = transport
         self.clock = clock
         self.max_lag_ops = max_lag_ops
         self.max_staleness_s = max_staleness_s
+        #: Tenant filter over a shared (multi-tenant) log: when set,
+        #: only operations stamped with this tenant are applied — the
+        #: replica serves that namespace alone, while seq accounting
+        #: still tracks the *full* shared log (gaps between this
+        #: tenant's operations are other tenants' traffic, not loss).
+        #: Tenant-filtered replicas must be ephemeral: a local oplog
+        #: would either hold a gappy tenant-only log (unreplayable) or
+        #: the full log (which a plain restart would replay unfiltered).
+        self.tenant = tenant
+        if tenant is not None and config.oplog_path is not None:
+            raise ValueError(
+                f"{name}: a tenant-filtered replica must not keep its own "
+                "oplog (oplog_path=None) — it applies a filtered stream "
+                "that a later unfiltered recover would contradict"
+            )
         # The replica's name is the ``replica`` label on its service's
         # e2e_visibility_seconds / watermark instruments and its
         # structured-log component.
@@ -109,9 +129,10 @@ class ReadReplica:
         # newest snapshot, refuse divergent round-cut parameters,
         # replay the local log suffix.
         with obs.span("replica.bootstrap", component=name):
-            self.service = ClusteringService.recover(
-                engine_factory, config, snapshot=snapshot
-            )
+            with _internal_construction():
+                self.service = ClusteringService.recover(
+                    engine_factory, config, snapshot=snapshot
+                )
         #: Last seq this replica holds (log content, markers included).
         self.received_seq = (
             self.service.oplog.last_seq
@@ -167,6 +188,7 @@ class ReadReplica:
         snapshot: dict | None = None,
         name: str = "replica",
         clock: Callable[[], float] = time.time,
+        tenant: str | None = None,
     ) -> "ReadReplica":
         """Start a follower, seeding it from a primary's snapshot.
 
@@ -195,7 +217,13 @@ class ReadReplica:
             store.close()
             snapshot = None  # recover reads the seeded store
         return cls(
-            engine_factory, config, transport, name=name, clock=clock, snapshot=snapshot
+            engine_factory,
+            config,
+            transport,
+            name=name,
+            clock=clock,
+            snapshot=snapshot,
+            tenant=tenant,
         )
 
     # ------------------------------------------------------------------
@@ -255,13 +283,26 @@ class ReadReplica:
         # A partial redelivery (e.g. a segment cut just after a snapshot
         # restore) contributes only its unseen suffix.
         operations = segment.operations[self.received_seq - segment.first_seq + 1 :]
-        with self.obs.span(
-            "replica.segment.apply", component=self.name, ops=len(operations)
-        ):
-            if self.service.oplog is not None:
-                # Hard state first (the WAL rule), then derived state.
-                self.service.oplog.append_stamped(operations)
-            self.service.apply_logged(operations, expect_after=self.received_seq)
+        if self.tenant is not None:
+            # Shared multi-tenant log: apply only this tenant's slice.
+            # Contiguity cannot be asserted on the filtered stream (the
+            # holes are other tenants), so gap detection lives entirely
+            # in the full-segment bounds checked above.
+            operations = tuple(
+                op for op in operations if op.tenant == self.tenant
+            )
+            with self.obs.span(
+                "replica.segment.apply", component=self.name, ops=len(operations)
+            ):
+                self.service.apply_logged(operations, contiguous=False)
+        else:
+            with self.obs.span(
+                "replica.segment.apply", component=self.name, ops=len(operations)
+            ):
+                if self.service.oplog is not None:
+                    # Hard state first (the WAL rule), then derived state.
+                    self.service.oplog.append_stamped(operations)
+                self.service.apply_logged(operations, expect_after=self.received_seq)
         self.received_seq = segment.last_seq
         self.segments_applied += 1
         self._applied_mono = time.monotonic()
@@ -319,12 +360,14 @@ class ReadReplica:
                 # comes back to the same state.
                 self.service.checkpoints.save(dict(artifact.state))
                 self.service.close()
-                self.service = ClusteringService.recover(factory, config)
+                with _internal_construction():
+                    self.service = ClusteringService.recover(factory, config)
             else:
                 self.service.close()
-                self.service = ClusteringService.recover(
-                    factory, config, snapshot=artifact.state
-                )
+                with _internal_construction():
+                    self.service = ClusteringService.recover(
+                        factory, config, snapshot=artifact.state
+                    )
             if self.service.oplog is not None:
                 # The local log's pre-snapshot content is now covered (and
                 # disconnected from future appends); drop it.
@@ -410,8 +453,8 @@ class ReadReplica:
     def num_objects(self) -> int:
         return self.service.num_objects()
 
-    def stats(self) -> dict:
-        snapshot = self.service.stats()
+    def stats(self, legacy: bool = True) -> dict:
+        snapshot = self.service.stats(legacy=legacy)
         snapshot["replica"] = self.lag()
         snapshot["segments_applied"] = self.segments_applied
         snapshot["duplicates_dropped"] = self.duplicates_dropped
@@ -464,7 +507,8 @@ class ReadReplica:
             # (tiny) logged-but-unapplied suffix, not the whole log.
             self.service.checkpoint()
         self.service.close()
-        return ClusteringService.recover(factory, config)
+        with _internal_construction():
+            return ClusteringService.recover(factory, config)
 
     def close(self) -> None:
         self.service.close()

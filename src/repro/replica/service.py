@@ -28,7 +28,12 @@ from typing import Callable, Iterable, Sequence
 from repro.obs.health import check_replica_lag
 from repro.obs.server import ObsServer
 from repro.stream.events import Operation
-from repro.stream.service import ClusteringService, StreamConfig
+from repro.stream.service import (
+    ClusteringService,
+    StreamConfig,
+    _internal_construction,
+    _warn_deprecated_facade,
+)
 from repro.stream.shard import EngineFactory
 
 from .replica import ReadReplica
@@ -64,6 +69,9 @@ class ReplicatedClusteringService:
         max_segment_ops: int = 512,
         clock: Callable[[], float] = time.time,
     ) -> None:
+        _warn_deprecated_facade(
+            "repro.replica.ReplicatedClusteringService", "repro.serve.Service"
+        )
         if config.oplog_path is None:
             raise ValueError(
                 "replication requires a durable primary: set oplog_path"
@@ -78,7 +86,8 @@ class ReplicatedClusteringService:
         listen = config.obs_server
         if listen is not None:
             config = replace(config, obs_server=None)
-        self.primary = ClusteringService(engine_factory, config)
+        with _internal_construction():
+            self.primary = ClusteringService(engine_factory, config)
         #: The topology's single telemetry collection point: the
         #: primary's recorder, shared with the shipper and (by default)
         #: every attached replica, so one ``snapshot()`` covers the
@@ -328,9 +337,21 @@ class ReplicatedClusteringService:
         """Per-replica lag (seq delta + staleness); see :meth:`ReadReplica.lag`."""
         return [replica.lag() for replica in self.replicas]
 
-    def stats(self) -> dict:
+    def stats(self, legacy: bool = True) -> dict:
+        """Topology stats in the canonical cross-layer shape.
+
+        Top-level ``ops_total`` / ``backlog`` / percentile trio describe
+        the primary (the write path); the nested per-component dicts
+        (``primary``, ``shipping``, ``replicas``) carry the detail.
+        """
+        primary = self.primary.stats(legacy=legacy)
         return {
-            "primary": self.primary.stats(),
+            "ops_total": primary["ops_total"],
+            "backlog": primary["backlog"],
+            "p50_s": primary["p50_s"],
+            "p95_s": primary["p95_s"],
+            "p99_s": primary["p99_s"],
+            "primary": primary,
             "shipping": self.shipper.stats(),
             "replicas": self.lag(),
         }

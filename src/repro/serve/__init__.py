@@ -1,0 +1,49 @@
+"""repro.serve — the multi-tenant service front door.
+
+The redesigned public API over the streaming/replication stack:
+
+* :class:`Service` / :meth:`Service.open` — one process-wide topology:
+  a shared tenant-stamped operation log, per-tenant DynamicC engine
+  pools, LRU activation under ``max_resident_tenants``, admission
+  quotas, tenant-filtered read replicas, and a single labeled
+  observability surface;
+* :class:`TenantHandle` — ``service.tenant("name")``: the per-tenant
+  ingest/query/control view (stateless; survives evictions);
+* :class:`ServeConfig` — the one consolidated configuration object
+  (:meth:`ServeConfig.from_kwargs` is the typed-kwargs funnel);
+* :class:`TenantManager` — the engine room, for embedders that need
+  the pools without the façade;
+* :class:`TokenBucket` — the admission-control primitive;
+* the typed error family from :mod:`repro.errors` (:class:`ServeError`,
+  :class:`ConfigError`, :class:`QuotaExceeded`,
+  :class:`UnknownTenantError`), re-exported for convenience.
+
+The pre-serve façades — ``repro.stream.ClusteringService`` and
+``repro.replica.ReplicatedClusteringService`` — keep working unchanged
+this release and emit a ``DeprecationWarning`` pointing here; see the
+README's "Service API" migration table.
+"""
+
+from repro.errors import (
+    ConfigError,
+    QuotaExceeded,
+    ServeError,
+    UnknownTenantError,
+)
+
+from .config import ServeConfig
+from .quota import TokenBucket
+from .service import Service, TenantHandle
+from .tenant import TenantManager
+
+__all__ = [
+    "ConfigError",
+    "QuotaExceeded",
+    "ServeConfig",
+    "ServeError",
+    "Service",
+    "TenantHandle",
+    "TenantManager",
+    "TokenBucket",
+    "UnknownTenantError",
+]

@@ -1,0 +1,261 @@
+"""ServeConfig: the one consolidated configuration for :mod:`repro.serve`.
+
+Subsumes the knobs previously spread across ``StreamConfig`` keyword
+soup, replication wiring and obs kwargs. The serve layer owns the
+storage layout: callers name a ``root_dir`` and the service derives the
+shared operation log (``<root>/oplog.*``) and per-tenant checkpoint
+directories (``<root>/tenants/<name>/checkpoints``) from it — the old
+``oplog_path`` / ``checkpoint_dir`` knobs are deliberately absent and
+:meth:`ServeConfig.from_kwargs` converts attempts to pass them into
+actionable :class:`~repro.errors.ConfigError` messages.
+
+Validation is funnelled through one point: serve-level constraints are
+checked here, and the shared streaming knobs are delegated to
+``StreamConfig.__post_init__`` by building the per-tenant template —
+so a bad ``router=`` or ``log_backend=`` fails identically whether it
+arrives through the old or the new API.
+"""
+
+from __future__ import annotations
+
+import difflib
+import pathlib
+from dataclasses import dataclass, fields
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.obs.server import parse_listen
+from repro.stream.service import StreamConfig
+
+#: Pre-serve knobs whose replacement is structural, not a rename.
+_RETIRED_KWARGS = {
+    "oplog_path": (
+        "the serve layer owns the storage layout: pass root_dir=... and "
+        "the shared multi-tenant oplog lives at <root_dir>/oplog.<backend>"
+    ),
+    "checkpoint_dir": (
+        "the serve layer owns the storage layout: pass root_dir=... and "
+        "each tenant checkpoints under <root_dir>/tenants/<name>/checkpoints"
+    ),
+    "replicas": (
+        "replicas are attached per tenant at runtime — "
+        'service.tenant("name").add_replica(...) — not configured up front'
+    ),
+}
+
+
+@dataclass
+class ServeConfig:
+    """Tunables for :class:`repro.serve.Service`.
+
+    Attributes
+    ----------
+    engine_factory:
+        Zero-argument callable building one fresh deterministic
+        :class:`~repro.core.dynamicc.DynamicC`; called once per shard
+        per tenant. Determinism is what makes per-tenant recovery,
+        eviction reload and replica catch-up exact.
+    n_shards, batch_max_ops, batch_max_age, train_rounds, router:
+        Per-tenant engine-pool knobs, identical in meaning to their
+        :class:`~repro.stream.StreamConfig` counterparts; every tenant
+        runs the same round-cut parameters (they are the replay
+        contract).
+    root_dir:
+        Durable-state root. ``None`` runs the whole service ephemerally
+        (no shared log, no checkpoints, no eviction). When set, the
+        shared tenant-stamped oplog and every tenant's checkpoints live
+        under it.
+    log_backend, checkpoint_backend, fsync, keep_checkpoints,
+    compact_on_checkpoint:
+        Storage policy, as in ``StreamConfig``. ``fsync`` applies to
+        the *shared* log and therefore requires ``root_dir``.
+    telemetry, obs_server, node_name, log_stream:
+        Observability, as in ``StreamConfig``; one recorder, one HTTP
+        surface and one structured-log stream cover every tenant
+        (instruments are labeled ``tenant=...``).
+    max_resident_tenants:
+        LRU activation cap: at most this many tenants keep live engine
+        pools; the least-recently-used is checkpointed out and reloads
+        lazily on its next touch. Requires ``root_dir`` (eviction
+        without a checkpoint store would lose state).
+    quota_ops_per_s, quota_burst:
+        Per-tenant token-bucket rate limit; ``quota_burst`` defaults to
+        the rate (one second of headroom) and requires the rate.
+    quota_max_objects:
+        Per-tenant ceiling on live objects.
+    quota_max_pending:
+        Per-tenant ceiling on buffered (logged-but-unapplied) backlog.
+    max_segment_ops:
+        Replication segment bound for the shared-log shipper.
+    """
+
+    engine_factory: Any
+    n_shards: int = 2
+    batch_max_ops: int = 256
+    batch_max_age: float | None = None
+    train_rounds: int = 3
+    router: str = "hash"
+    root_dir: Any = None
+    log_backend: str = "jsonl"
+    checkpoint_backend: str = "json"
+    fsync: bool = False
+    keep_checkpoints: int = 3
+    compact_on_checkpoint: bool = True
+    telemetry: Any = None
+    obs_server: str | None = None
+    node_name: str = "serve"
+    log_stream: Any = None
+    max_resident_tenants: int | None = None
+    quota_ops_per_s: float | None = None
+    quota_burst: float | None = None
+    quota_max_objects: int | None = None
+    quota_max_pending: int | None = None
+    max_segment_ops: int = 512
+
+    def __post_init__(self) -> None:
+        if not callable(self.engine_factory):
+            raise ConfigError(
+                "engine_factory must be a zero-argument callable building "
+                f"a DynamicC engine, got {self.engine_factory!r}"
+            )
+        if self.obs_server is not None:
+            try:
+                parse_listen(self.obs_server)  # fail fast on a bad spec
+            except ValueError as exc:
+                raise ConfigError(str(exc)) from None
+        if self.fsync and self.root_dir is None:
+            raise ConfigError(
+                "fsync=True needs a durable log to sync: set root_dir (the "
+                "shared oplog lives under it) or drop fsync"
+            )
+        if self.max_resident_tenants is not None:
+            if self.max_resident_tenants < 1:
+                raise ConfigError("max_resident_tenants must be >= 1")
+            if self.root_dir is None:
+                raise ConfigError(
+                    "max_resident_tenants (LRU eviction) requires root_dir: "
+                    "an evicted tenant is checkpointed out and reloaded from "
+                    "disk, which an ephemeral service has nowhere to do"
+                )
+        if self.quota_burst is not None and self.quota_ops_per_s is None:
+            raise ConfigError(
+                "quota_burst refines quota_ops_per_s and is meaningless "
+                "without it: set quota_ops_per_s too, or drop quota_burst"
+            )
+        if self.quota_ops_per_s is not None and self.quota_ops_per_s <= 0:
+            raise ConfigError("quota_ops_per_s must be > 0")
+        if self.quota_burst is not None and self.quota_burst < 1:
+            raise ConfigError("quota_burst must be >= 1")
+        if self.quota_max_objects is not None and self.quota_max_objects < 1:
+            raise ConfigError("quota_max_objects must be >= 1")
+        if self.quota_max_pending is not None and self.quota_max_pending < 1:
+            raise ConfigError("quota_max_pending must be >= 1")
+        if self.max_segment_ops < 1:
+            raise ConfigError("max_segment_ops must be >= 1")
+        # Delegate the shared streaming knobs (shard counts, router,
+        # backends, telemetry setting...) to the single validation
+        # point they have always had.
+        self.tenant_stream_config("_template", self.telemetry)
+
+    @classmethod
+    def from_kwargs(cls, engine_factory: Any, **kwargs: Any) -> "ServeConfig":
+        """Build a config from keyword options, with typed diagnostics.
+
+        The single kwargs funnel behind :meth:`repro.serve.Service.open`:
+        unknown options raise :class:`~repro.errors.ConfigError` with a
+        did-you-mean suggestion, and retired pre-serve options raise
+        with the structural replacement spelled out.
+        """
+        known = {field.name for field in fields(cls)} - {"engine_factory"}
+        for name in kwargs:
+            if name in _RETIRED_KWARGS:
+                raise ConfigError(
+                    f"{name!r} is not a ServeConfig option: {_RETIRED_KWARGS[name]}"
+                )
+            if name not in known:
+                close = difflib.get_close_matches(name, sorted(known), n=1)
+                hint = f"; did you mean {close[0]!r}?" if close else ""
+                raise ConfigError(
+                    f"unknown ServeConfig option {name!r}{hint} "
+                    f"(valid options: {', '.join(sorted(known))})"
+                )
+        return cls(engine_factory, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Storage layout
+    # ------------------------------------------------------------------
+    def resolve_root(self) -> pathlib.Path | None:
+        return pathlib.Path(self.root_dir) if self.root_dir is not None else None
+
+    def oplog_path(self) -> pathlib.Path | None:
+        """The shared tenant-stamped operation log under ``root_dir``."""
+        root = self.resolve_root()
+        if root is None:
+            return None
+        suffix = "sqlite" if self.log_backend == "sqlite" else "jsonl"
+        return root / f"oplog.{suffix}"
+
+    def tenants_root(self) -> pathlib.Path | None:
+        root = self.resolve_root()
+        return root / "tenants" if root is not None else None
+
+    def tenant_checkpoint_dir(self, tenant: str) -> pathlib.Path | None:
+        tenants = self.tenants_root()
+        return tenants / tenant / "checkpoints" if tenants is not None else None
+
+    # ------------------------------------------------------------------
+    # Derived StreamConfigs
+    # ------------------------------------------------------------------
+    def tenant_stream_config(self, tenant: str, telemetry: Any) -> StreamConfig:
+        """The per-tenant engine-pool config.
+
+        Tenant services never own an oplog (the shared tenant-stamped
+        log is the manager's) and never fsync (there is nothing local
+        to sync); they checkpoint into their own directory when the
+        service is durable.
+        """
+        return StreamConfig(
+            n_shards=self.n_shards,
+            batch_max_ops=self.batch_max_ops,
+            # Age cuts are the manager's job: a wall-clock cut must be
+            # recorded as a tenant-stamped flush marker in the shared
+            # log, which only the log's owner can do.
+            batch_max_age=None,
+            train_rounds=self.train_rounds,
+            router=self.router,
+            oplog_path=None,
+            checkpoint_dir=self.tenant_checkpoint_dir(tenant),
+            log_backend=self.log_backend,
+            checkpoint_backend=self.checkpoint_backend,
+            fsync=False,
+            keep_checkpoints=self.keep_checkpoints,
+            compact_on_checkpoint=self.compact_on_checkpoint,
+            telemetry=telemetry,
+            obs_server=None,
+            node_name=f"{self.node_name}:{tenant}",
+            log_stream=self.log_stream,
+        )
+
+    def replica_stream_config(self, name: str, telemetry: Any) -> StreamConfig:
+        """A tenant-filtered replica's config (ephemeral by contract)."""
+        return StreamConfig(
+            n_shards=self.n_shards,
+            batch_max_ops=self.batch_max_ops,
+            batch_max_age=None,
+            train_rounds=self.train_rounds,
+            router=self.router,
+            oplog_path=None,
+            checkpoint_dir=None,
+            telemetry=telemetry,
+            obs_server=None,
+            node_name=name,
+            log_stream=self.log_stream,
+        )
+
+    def round_cut_params(self) -> dict[str, int]:
+        """The replay-determinism contract, as in ``StreamConfig``."""
+        return {
+            "n_shards": self.n_shards,
+            "batch_max_ops": self.batch_max_ops,
+            "train_rounds": self.train_rounds,
+        }

@@ -1,0 +1,75 @@
+"""Admission control primitives for the multi-tenant front door.
+
+One :class:`TokenBucket` per tenant enforces the ops/s quota: tokens
+refill continuously at ``rate`` up to a ``burst`` ceiling, and an
+ingest of N operations atomically takes N tokens or is rejected with a
+computed retry horizon — the ``retry_after_s`` a
+:class:`repro.errors.QuotaExceeded` carries back to the caller. The
+clock is injectable (monotonic domain) so quota tests are deterministic
+rather than sleep-based.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+class TokenBucket:
+    """A continuously-refilling token bucket (rate + burst).
+
+    Parameters
+    ----------
+    rate:
+        Sustained tokens (operations) per second.
+    burst:
+        Bucket capacity: the largest instantaneous spend. Starts full.
+    clock:
+        Monotonic seconds source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be > 0 tokens/s")
+        if burst < 1:
+            raise ValueError("burst must be >= 1 token")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock
+        self._tokens = self.burst
+        self._refilled_at = clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        elapsed = now - self._refilled_at
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._refilled_at = now
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (after refill)."""
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, n: int = 1) -> float | None:
+        """Take ``n`` tokens atomically; all-or-nothing.
+
+        Returns ``None`` on success, or the seconds until ``n`` tokens
+        *would* be available. A request larger than ``burst`` can never
+        succeed whole — the returned horizon is still finite (time to
+        accrue the shortfall at ``rate``), and the caller's remedy is to
+        split the batch.
+        """
+        if n <= 0:
+            return None
+        self._refill()
+        if n <= self._tokens:
+            self._tokens -= n
+            return None
+        return (n - self._tokens) / self.rate

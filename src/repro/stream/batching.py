@@ -164,6 +164,16 @@ class MicroBatcher:
         for operation in operations:
             self.add(operation)
 
+    def pending(self) -> tuple[Operation, ...]:
+        """The buffered (not yet applied) operations, in arrival order.
+
+        Read-only view for admission control and diagnostics — e.g.
+        the serve layer's object quota projects pending adds on top of
+        applied state, so a burst inside one micro-batch cannot slip
+        past the cap.
+        """
+        return tuple(self._pending)
+
     def ready(self) -> bool:
         """Is a full round available?"""
         if len(self._pending) >= self.max_ops:

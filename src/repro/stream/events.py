@@ -47,6 +47,13 @@ class Operation:
     ``None`` means unstamped (raw constructor output, or a record
     written before watermarks existed) — every consumer treats that as
     "no freshness information", not as time zero.
+
+    ``tenant`` is the namespace stamp: which tenant's engine pool this
+    operation belongs to when many tenants share one log (see
+    :mod:`repro.serve`). Stamped at ingest — exactly like the routing
+    stamp — so recovery, compaction, shipping and replicas can filter a
+    shared log per tenant without any side table. ``None`` means the
+    single-tenant world every pre-serve log was written in.
     """
 
     kind: str
@@ -55,6 +62,7 @@ class Operation:
     seq: int = 0
     shard: int | None = None
     ingest_ts: float | None = None
+    tenant: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -67,17 +75,26 @@ class Operation:
 
     def with_seq(self, seq: int) -> "Operation":
         return Operation(
-            self.kind, self.obj_id, self.payload, seq, self.shard, self.ingest_ts
+            self.kind, self.obj_id, self.payload, seq, self.shard, self.ingest_ts,
+            self.tenant,
         )
 
     def with_shard(self, shard: int) -> "Operation":
         return Operation(
-            self.kind, self.obj_id, self.payload, self.seq, shard, self.ingest_ts
+            self.kind, self.obj_id, self.payload, self.seq, shard, self.ingest_ts,
+            self.tenant,
         )
 
     def with_ingest_ts(self, ingest_ts: float) -> "Operation":
         return Operation(
-            self.kind, self.obj_id, self.payload, self.seq, self.shard, ingest_ts
+            self.kind, self.obj_id, self.payload, self.seq, self.shard, ingest_ts,
+            self.tenant,
+        )
+
+    def with_tenant(self, tenant: str) -> "Operation":
+        return Operation(
+            self.kind, self.obj_id, self.payload, self.seq, self.shard,
+            self.ingest_ts, tenant,
         )
 
     # ------------------------------------------------------------------
@@ -87,6 +104,8 @@ class Operation:
             data["shard"] = self.shard
         if self.ingest_ts is not None:
             data["ts"] = self.ingest_ts
+        if self.tenant is not None:
+            data["tenant"] = self.tenant
         if self.kind not in _PAYLOADLESS:
             data["payload"] = encode_payload(self.payload)
         return data
@@ -95,6 +114,7 @@ class Operation:
     def from_dict(cls, data: dict) -> "Operation":
         shard = data.get("shard")
         ingest_ts = data.get("ts")
+        tenant = data.get("tenant")
         return cls(
             kind=data["kind"],
             obj_id=int(data["id"]),
@@ -106,6 +126,7 @@ class Operation:
             seq=int(data["seq"]),
             shard=int(shard) if shard is not None else None,
             ingest_ts=float(ingest_ts) if ingest_ts is not None else None,
+            tenant=str(tenant) if tenant is not None else None,
         )
 
 

@@ -71,12 +71,19 @@ class ShardMetrics:
             self.rejected += round_stats.rejected
 
     def to_dict(self) -> dict:
+        latency = self.round_latency.to_dict()
         return {
+            # Canonical stats() shape (shared by stream/replica/serve):
+            # every component reports ops_total and p50_s/p95_s/p99_s.
+            "ops_total": self.ops_applied,
+            "p50_s": latency["p50_s"],
+            "p95_s": latency["p95_s"],
+            "p99_s": latency["p99_s"],
             "rounds_observed": self.rounds_observed,
             "rounds_predicted": self.rounds_predicted,
             "ops_applied": self.ops_applied,
             "ops_ignored": self.ops_ignored,
-            "round_latency": self.round_latency.to_dict(),
+            "round_latency": latency,
             "merges_applied": self.merges_applied,
             "splits_applied": self.splits_applied,
             "moves_applied": self.moves_applied,
@@ -106,13 +113,27 @@ class MetricsRegistry:
         applied = sum(shard.ops_applied for shard in self.shards)
         return applied / busy if busy > 0 else 0.0
 
-    def snapshot(self) -> dict:
-        return {
-            "events_ingested": self.events_ingested,
+    def snapshot(self, legacy: bool = True) -> dict:
+        """Counters as one dict, in the canonical stats() key shape.
+
+        ``ops_total`` and the ``p50_s``/``p95_s``/``p99_s`` percentile
+        trio (of batch-apply latency) are the cross-layer contract;
+        ``legacy=True`` (the default, for one release) additionally
+        emits the pre-1.4 alias ``events_ingested``.
+        """
+        latency = self.batch_latency.to_dict()
+        out = {
+            "ops_total": self.events_ingested,
+            "p50_s": latency["p50_s"],
+            "p95_s": latency["p95_s"],
+            "p99_s": latency["p99_s"],
             "batches_applied": self.batches_applied,
-            "batch_latency": self.batch_latency.to_dict(),
+            "batch_latency": latency,
             "throughput_events_per_s": self.throughput_events_per_s(),
             "checkpoints_taken": self.checkpoints_taken,
             "recoveries": self.recoveries,
             "shards": [shard.to_dict() for shard in self.shards],
         }
+        if legacy:
+            out["events_ingested"] = self.events_ingested
+        return out

@@ -28,10 +28,13 @@ the log. Async ingest is the remaining scaling seam.
 
 from __future__ import annotations
 
+import contextlib
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
+from repro.errors import ConfigError
 from repro.obs.health import (
     HealthRegistry,
     check_backlog,
@@ -55,6 +58,39 @@ from .router import (
     parse_cluster_id,
 )
 from .shard import EngineFactory, StreamShard
+
+# ---------------------------------------------------------------------------
+# Deprecation plumbing for the pre-serve façades
+# ---------------------------------------------------------------------------
+# ClusteringService (and ReplicatedClusteringService on top of it) remain
+# the engine rooms of the stack, but the *public front door* is now
+# ``repro.serve.Service``. Direct construction of the old façades warns;
+# the serve/replica layers construct them inside ``_internal_construction``
+# so internal reuse stays silent — a user sees exactly one warning per
+# deprecated entry point they themselves call.
+_INTERNAL_DEPTH = 0
+
+
+@contextlib.contextmanager
+def _internal_construction():
+    """Suppress deprecation warnings for framework-internal construction."""
+    global _INTERNAL_DEPTH
+    _INTERNAL_DEPTH += 1
+    try:
+        yield
+    finally:
+        _INTERNAL_DEPTH -= 1
+
+
+def _warn_deprecated_facade(old: str, new: str) -> None:
+    if _INTERNAL_DEPTH == 0:
+        warnings.warn(
+            f"{old} is deprecated as a public entry point; use {new} "
+            "(see README 'Service API' for the migration table). "
+            f"{old} keeps working unchanged this release.",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
 
 @dataclass
@@ -152,31 +188,39 @@ class StreamConfig:
     log_stream: Any = None
 
     def __post_init__(self) -> None:
+        # All raises are ConfigError — a ValueError subclass, so the
+        # historical contract holds — making StreamConfig the single
+        # validation point ServeConfig delegates the shared knobs to.
         if self.obs_server is not None:
             parse_listen(self.obs_server)  # fail fast on a bad listen spec
         if self.telemetry not in TELEMETRY_SETTINGS and not hasattr(
             self.telemetry, "enabled"
         ):
-            raise ValueError(
+            raise ConfigError(
                 f"telemetry must be one of {TELEMETRY_SETTINGS} or a "
                 f"Telemetry instance, got {self.telemetry!r}"
             )
         if self.n_shards < 1:
-            raise ValueError("n_shards must be >= 1")
+            raise ConfigError("n_shards must be >= 1")
         if self.train_rounds < 1:
-            raise ValueError("train_rounds must be >= 1")
+            raise ConfigError("train_rounds must be >= 1")
         if self.router not in ROUTERS:
-            raise ValueError(
+            raise ConfigError(
                 f"router must be one of {ROUTERS}, got {self.router!r}"
             )
         if self.log_backend not in LOG_BACKENDS:
-            raise ValueError(
+            raise ConfigError(
                 f"log_backend must be one of {LOG_BACKENDS}, got {self.log_backend!r}"
             )
         if self.checkpoint_backend not in CHECKPOINT_BACKENDS:
-            raise ValueError(
+            raise ConfigError(
                 f"checkpoint_backend must be one of {CHECKPOINT_BACKENDS}, "
                 f"got {self.checkpoint_backend!r}"
+            )
+        if self.fsync and self.oplog_path is None:
+            raise ConfigError(
+                "fsync=True without an oplog_path is contradictory: there "
+                "is no durable log to fsync — set oplog_path or drop fsync"
             )
 
     def round_cut_params(self) -> dict[str, int]:
@@ -209,6 +253,9 @@ class ClusteringService:
     """
 
     def __init__(self, engine_factory: EngineFactory, config: StreamConfig | None = None) -> None:
+        _warn_deprecated_facade(
+            "repro.stream.ClusteringService", "repro.serve.Service"
+        )
         self.config = config or StreamConfig()
         self._engine_factory = engine_factory
         #: The observability recorder every layer reports into; the
@@ -527,10 +574,21 @@ class ClusteringService:
     def num_objects(self) -> int:
         return len(self.membership)
 
-    def stats(self) -> dict:
-        """Telemetry snapshot plus live engine/stream gauges."""
-        snapshot = self.metrics.snapshot()
+    def stats(self, legacy: bool = True) -> dict:
+        """Telemetry snapshot plus live engine/stream gauges.
+
+        The canonical cross-layer shape (shared with
+        :class:`~repro.replica.ReadReplica`,
+        :class:`~repro.replica.ReplicatedClusteringService` and
+        :class:`repro.serve.Service`): ``ops_total``, ``backlog``, the
+        ``p50_s``/``p95_s``/``p99_s`` trio, and nested per-component
+        dicts. ``legacy=True`` — the default for this release, flipping
+        to ``False`` next — additionally emits the pre-1.4 aliases
+        ``events_ingested`` and ``pending_ops``.
+        """
+        snapshot = self.metrics.snapshot(legacy=legacy)
         snapshot.update(
+            backlog=len(self.batcher),
             router=self.config.router,
             routing=self.router.stats(),
             applied_seq=self.applied_seq,
@@ -539,7 +597,6 @@ class ClusteringService:
                 self.oplog.last_watermark_ts if self.oplog is not None else None
             ),
             last_seq=self.oplog.last_seq if self.oplog is not None else self._next_seq - 1,
-            pending_ops=len(self.batcher),
             pending_oldest_age_s=self.batcher.oldest_age(),
             num_objects=len(self.membership),
             num_clusters=sum(shard.num_clusters() for shard in self.shards),
@@ -548,6 +605,8 @@ class ClusteringService:
                 self.oplog.bytes_reclaimed if self.oplog is not None else 0
             ),
         )
+        if legacy:
+            snapshot["pending_ops"] = len(self.batcher)
         for shard, shard_stats in zip(self.shards, snapshot["shards"]):
             shard_stats.update(
                 objects=shard.num_objects(),
@@ -559,7 +618,11 @@ class ClusteringService:
         return snapshot
 
     def apply_logged(
-        self, operations: Iterable[Operation], *, expect_after: int | None = None
+        self,
+        operations: Iterable[Operation],
+        *,
+        expect_after: int | None = None,
+        contiguous: bool = True,
     ) -> int | None:
         """Apply already-stamped (logged or shipped) operations.
 
@@ -571,7 +634,12 @@ class ClusteringService:
 
         When ``expect_after`` is given, sequence numbers must run
         contiguously from it (gap-refusing; a jump means the source log
-        was compacted past this point). Returns the last seq seen, or
+        was compacted past this point); even without it, any jump after
+        the first operation is refused. ``contiguous=False`` disables
+        gap checking entirely — for *tenant-filtered* slices of a
+        shared multi-tenant log (see :mod:`repro.serve`), where the
+        holes between this tenant's sequence numbers are other tenants'
+        traffic, not loss. Returns the last seq seen, or
         ``expect_after``/``None`` when ``operations`` is empty.
         """
         last_seen = expect_after
@@ -579,7 +647,7 @@ class ClusteringService:
         self.batcher.max_age = None
         try:
             for operation in operations:
-                if last_seen is not None and operation.seq != last_seen + 1:
+                if contiguous and last_seen is not None and operation.seq != last_seen + 1:
                     raise RuntimeError(
                         f"oplog gap: expected seq {last_seen + 1}, found "
                         f"{operation.seq}; the log no longer covers this point"
