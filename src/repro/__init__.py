@@ -54,7 +54,15 @@ from repro.core import (
     make_dynamic_dbscan,
 )
 from repro.data import build_workload
-from repro.errors import ConfigError, QuotaExceeded, ServeError, UnknownTenantError
+from repro.errors import (
+    ConfigError,
+    DegradedError,
+    DurabilityError,
+    QuotaExceeded,
+    ServeError,
+    UnknownTenantError,
+)
+from repro.faults import CircuitBreaker, ErrorInjector, FaultInjector, RetryPolicy
 from repro.replica import ReadReplica, ReplicatedClusteringService
 from repro.serve import ServeConfig, Service, TenantHandle, TenantManager
 from repro.similarity import SimilarityGraph
@@ -65,13 +73,18 @@ __version__ = "1.4.0"
 __all__ = [
     "DBSCAN",
     "Clustering",
+    "CircuitBreaker",
     "ClusteringService",
     "ConfigError",
     "CorrelationObjective",
     "DBIndexObjective",
+    "DegradedError",
+    "DurabilityError",
     "DynamicC",
     "DynamicCConfig",
     "DynamicCModel",
+    "ErrorInjector",
+    "FaultInjector",
     "GreedyIncremental",
     "HillClimbing",
     "KMeansObjective",
@@ -82,6 +95,7 @@ __all__ = [
     "QuotaExceeded",
     "ReadReplica",
     "ReplicatedClusteringService",
+    "RetryPolicy",
     "ServeConfig",
     "ServeError",
     "Service",

@@ -76,8 +76,72 @@ class UnknownTenantError(ServeError, KeyError):
     """A tenant name that the service has never seen and cannot create."""
 
 
+class DurabilityError(ServeError, RuntimeError):
+    """A durability boundary kept failing after the retry policy gave up.
+
+    Raised by :meth:`repro.faults.RetryPolicy.run` when a retryable
+    error survives every attempt (or the deadline). Chained from the
+    last underlying error, so ``err.__cause__`` holds the final
+    ``OSError``.
+
+    Attributes
+    ----------
+    boundary:
+        The named boundary that exhausted (``"oplog.append"``,
+        ``"checkpoint.save"``, ``"ship.publish"``, ...) — same
+        vocabulary as the injection registry and the
+        ``retry_attempts_total`` counter labels.
+    attempts:
+        How many attempts were made before giving up.
+    """
+
+    def __init__(self, boundary: str, attempts: int, message: str) -> None:
+        super().__init__(message)
+        self.boundary = boundary
+        self.attempts = attempts
+
+
+class DegradedError(ServeError, RuntimeError):
+    """An ingest was rejected because a durability path is degraded.
+
+    The write-path analogue of :class:`QuotaExceeded`, with the same
+    structured shape: a serving front end maps it straight to an HTTP
+    503 with a machine-readable body and a ``Retry-After`` header.
+    Reads are unaffected — degraded mode sheds writes, not queries.
+
+    Attributes
+    ----------
+    tenant:
+        The tenant whose ingest was rejected, or ``None`` when the
+        *shared* durability path (the multi-tenant oplog) is down and
+        every tenant is affected.
+    reason:
+        The degraded boundary (``"oplog.append"``,
+        ``"checkpoint.save"``, ...); doubles as the ``reason`` label on
+        ``degraded_rejections_total``.
+    retry_after_s:
+        Seconds until the breaker admits its next trial write — when
+        retrying could succeed. ``None`` means no probe is scheduled.
+    """
+
+    def __init__(
+        self,
+        tenant: str | None,
+        reason: str,
+        message: str,
+        *,
+        retry_after_s: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
 __all__ = [
     "ConfigError",
+    "DegradedError",
+    "DurabilityError",
     "QuotaExceeded",
     "ServeError",
     "UnknownTenantError",

@@ -1,0 +1,63 @@
+"""repro.faults — fault injection, retry policies, and degraded mode.
+
+Three pieces, one failure story:
+
+* :mod:`repro.faults.inject` — deterministic fault injection:
+  ``os``-level crash sweeps (:class:`FaultInjector`), named-boundary
+  error/latency/crash injection (:class:`ErrorInjector` against the
+  :func:`fire` hooks the production code declares), torn-tail
+  simulation (:func:`tear_file`) and seeded sweep sampling.
+* :mod:`repro.faults.retry` — :class:`RetryPolicy`: bounded attempts,
+  exponential backoff with full jitter, deadline, retryable-error
+  classification; exhaustion raises the typed
+  :class:`~repro.errors.DurabilityError`.
+* :mod:`repro.faults.breaker` — :class:`CircuitBreaker`: the
+  closed/open/half-open state machine behind degraded-mode serving,
+  with probe-driven recovery and health-registry integration.
+
+The injection hooks cost one list-truthiness check when inactive, the
+retry policies catch only :class:`Exception` (so injected crashes still
+kill the "process"), and every piece records onto the shared obs
+substrate — the drill in ``tests/test_chaos.py`` is the end-to-end
+consumer.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .inject import (
+    BOUNDARIES,
+    ErrorInjector,
+    FaultInjector,
+    FaultSpec,
+    InjectedCrash,
+    enospc,
+    eio,
+    fire,
+    flaky,
+    sample_crash_points,
+    slow,
+    tear_file,
+)
+from .retry import NO_RETRY, RetryPolicy, TRANSIENT_ERRNOS, default_classifier
+
+__all__ = [
+    "BOUNDARIES",
+    "CLOSED",
+    "CircuitBreaker",
+    "ErrorInjector",
+    "FaultInjector",
+    "FaultSpec",
+    "HALF_OPEN",
+    "InjectedCrash",
+    "NO_RETRY",
+    "OPEN",
+    "RetryPolicy",
+    "TRANSIENT_ERRNOS",
+    "default_classifier",
+    "enospc",
+    "eio",
+    "fire",
+    "flaky",
+    "sample_crash_points",
+    "slow",
+    "tear_file",
+]

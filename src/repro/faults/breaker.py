@@ -1,0 +1,195 @@
+"""CircuitBreaker: typed degraded mode for durability boundaries.
+
+When retries exhaust on a durability path, crashing the service throws
+away every read it could still serve; retrying forever turns one full
+disk into an ingest hot loop. The breaker is the third option — a
+small, explicit state machine per protected boundary:
+
+* **closed** — healthy; writes flow, failures below notice.
+* **open** — a durability failure was recorded; ingest on this path is
+  rejected up front with a typed error carrying ``retry_after_s``
+  (the next probe time), while reads keep serving.
+* **half-open** — the backoff elapsed; the next :meth:`allow` admits
+  one trial write. Success closes the breaker, failure re-opens it
+  with a doubled backoff (capped).
+
+Recovery is probe-driven rather than thread-driven: the breaker holds
+an optional ``probe`` callable (e.g. "write+fsync+remove a marker file
+in the tenant's checkpoint directory") and runs it from
+:meth:`maybe_probe` — which the owning service calls on ingest attempts
+and from the breaker's registered health check. Every ``/readyz``
+scrape therefore doubles as the background re-test, with the breaker's
+own backoff keeping probe frequency bounded no matter how hot the
+scrape loop is.
+
+Health integration: :meth:`health_check` returns a probe callable for
+:class:`repro.obs.HealthRegistry` that first gives the breaker a
+recovery chance, then reports ``ok`` or the configured severity — a
+per-tenant breaker reports ``degraded`` (one tenant's full disk must
+not flip the whole node's ``/readyz`` to 503), the shared-oplog breaker
+reports ``failing`` (nothing can ingest, load balancers should know).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from repro.obs import NULL_TELEMETRY, CheckResult, degraded, failing, ok
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker guarding one durability boundary.
+
+    Parameters
+    ----------
+    name:
+        Label on the ``breaker_transitions_total{name,state}`` counter
+        and in health details.
+    probe:
+        Optional zero-argument callable that re-tests the boundary
+        cheaply (raising on failure). Run by :meth:`maybe_probe` when
+        the backoff has elapsed.
+    base_backoff_s / max_backoff_s:
+        Probe spacing: first re-test after ``base_backoff_s``, doubling
+        per consecutive failure up to ``max_backoff_s``.
+    clock:
+        Monotonic clock, injectable for tests.
+    obs:
+        Telemetry recorder for transition counters.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        probe: Callable[[], Any] | None = None,
+        base_backoff_s: float = 1.0,
+        max_backoff_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        obs=NULL_TELEMETRY,
+    ) -> None:
+        self.name = name
+        self.probe = probe
+        self.base_backoff_s = base_backoff_s
+        self.max_backoff_s = max_backoff_s
+        self.clock = clock
+        self.obs = obs
+        self.state = CLOSED
+        self.failures = 0  # consecutive, resets on success
+        self.last_error: str | None = None
+        self.opened_at: float | None = None
+        self.next_probe_at: float | None = None
+
+    # ------------------------------------------------------------------
+    # State transitions
+    # ------------------------------------------------------------------
+    def record_failure(self, error: BaseException | str) -> None:
+        """A durability attempt failed: open (or re-open, backing off)."""
+        self.failures += 1
+        self.last_error = str(error)
+        now = self.clock()
+        if self.state != OPEN:
+            self.opened_at = now
+            self._transition(OPEN)
+        backoff = min(
+            self.max_backoff_s, self.base_backoff_s * (2 ** (self.failures - 1))
+        )
+        self.next_probe_at = now + backoff
+
+    def record_success(self) -> None:
+        """A durability attempt (trial or probe) succeeded: close."""
+        self.failures = 0
+        self.last_error = None
+        self.opened_at = None
+        self.next_probe_at = None
+        if self.state != CLOSED:
+            self._transition(CLOSED)
+
+    def allow(self) -> bool:
+        """May a write proceed now?
+
+        Closed: yes. Open: only once the backoff elapsed — that call
+        moves the breaker to half-open and admits the single trial
+        write whose outcome the caller must report back via
+        :meth:`record_success` / :meth:`record_failure`.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.next_probe_at is not None and self.clock() >= self.next_probe_at:
+            if self.state != HALF_OPEN:
+                self._transition(HALF_OPEN)
+            return True
+        return False
+
+    def retry_after_s(self) -> float | None:
+        """Seconds until the next trial is admitted (``None`` if closed)."""
+        if self.state == CLOSED or self.next_probe_at is None:
+            return None
+        return max(0.0, self.next_probe_at - self.clock())
+
+    def maybe_probe(self) -> bool:
+        """Run the configured probe if the backoff elapsed; returns healthy.
+
+        The "background probe" without a thread: called from ingest
+        attempts and health-check evaluation, it re-tests the boundary
+        at most once per backoff window and records the outcome.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.probe is None or not self.allow():
+            return False
+        try:
+            self.probe()
+        except Exception as error:  # InjectedCrash passes through
+            self.record_failure(error)
+            return False
+        self.record_success()
+        return True
+
+    # ------------------------------------------------------------------
+    # Surfaces
+    # ------------------------------------------------------------------
+    def health_check(self, severity: str = "failing") -> Callable[[], CheckResult]:
+        """A :class:`~repro.obs.HealthRegistry` probe for this breaker.
+
+        ``severity`` chooses what an open breaker reports: ``"failing"``
+        (gates ``/readyz``) for shared-path breakers, ``"degraded"``
+        (visible but still ready) for per-tenant ones.
+        """
+        verdict = failing if severity == "failing" else degraded
+
+        def check() -> CheckResult:
+            self.maybe_probe()  # every scrape doubles as the re-test
+            if self.state == CLOSED:
+                return ok("closed", failures=0)
+            return verdict(
+                f"{self.state}: {self.last_error or 'durability failure'}",
+                failures=self.failures,
+                retry_after_s=self.retry_after_s(),
+            )
+
+        return check
+
+    def status(self) -> dict:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "failures": self.failures,
+            "last_error": self.last_error,
+            "retry_after_s": self.retry_after_s(),
+        }
+
+    def _transition(self, state: str) -> None:
+        self.state = state
+        if self.obs.enabled:
+            self.obs.counter(
+                "breaker_transitions_total", labels=("name", "state")
+            ).labels(name=self.name, state=state).inc()
+
+
+__all__ = ["CLOSED", "CircuitBreaker", "HALF_OPEN", "OPEN"]

@@ -1,0 +1,387 @@
+"""Deterministic fault injection for the durability and shipping paths.
+
+The crash-consistency claims in :mod:`repro.stream` / :mod:`repro.replica`
+(torn-tail healing, temp+rename-atomic publication, directory fsync)
+all reduce to "a process may die between any two filesystem operations
+and nothing partially-written may ever become visible". This module
+makes that sweepable instead of anecdotal, and extends the sweep from
+*crashes* to *errors*:
+
+* :class:`FaultInjector` intercepts the *durability boundaries* —
+  ``os.replace`` / ``os.rename`` (publication) and ``os.fsync``
+  (persistence) — counts them, and raises :class:`InjectedCrash`
+  *before* the N-th one executes. A dry run (``crash_at=None``)
+  enumerates a scenario's crash points; a sweep then re-runs it
+  crashing at every point in turn. The op trace is a pure function of
+  the code under test, so sweeps are deterministic by construction —
+  no timing, no real signals.
+* :class:`ErrorInjector` targets the *named boundaries* the production
+  code declares with :func:`fire` (``oplog.fsync``, ``ship.publish``,
+  ...) and injects I/O errors (``ENOSPC``, ``EIO``), transient-then-ok
+  flakiness with seeded schedules, latency, or crashes. Unlike the
+  ``os``-level injector it reaches boundaries whose I/O happens below
+  Python (the sqlite backend fsyncs inside the C library and never
+  crosses ``os.fsync``).
+* :func:`tear_file` deterministically truncates a file (seeded),
+  simulating the torn in-progress *write* half: a ``write(2)`` that
+  died mid-buffer, media damage, or a non-atomic copy.
+* :func:`sample_crash_points` draws a seeded subset when a sweep is
+  too large to run exhaustively.
+
+:class:`InjectedCrash` derives from ``BaseException`` on purpose: the
+code under test must behave as if the process died, so no
+``except Exception`` / ``except OSError`` recovery path may swallow
+the crash and keep going. Injected *errors* are plain :class:`OSError`
+instances — they are exactly what the retry and degradation machinery
+is expected to see and handle.
+
+The :func:`fire` hook is zero-cost when no injector is active: one
+truthiness check on a module-level list. Production code calls it
+unconditionally at each named boundary.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import os
+import random
+import time
+from dataclasses import dataclass, field
+
+#: Every boundary the production code declares with :func:`fire`.
+#: Registered by name so a sweep can target ``oplog.fsync`` or
+#: ``ship.publish`` specifically — an injector given a name outside
+#: this set fails fast instead of silently never matching.
+BOUNDARIES = frozenset(
+    {
+        "oplog.append",  # op batch write (JSONL write / sqlite INSERT)
+        "oplog.fsync",  # durability point (fsync / sqlite COMMIT)
+        "oplog.compact",  # prefix truncation (rewrite / DELETE+VACUUM)
+        "checkpoint.save",  # snapshot persistence
+        "checkpoint.load",  # snapshot recovery read
+        "ship.publish",  # transport artifact publication
+        "ship.poll",  # transport artifact consumption
+        "replica.bootstrap",  # follower snapshot-led start
+    }
+)
+
+
+class InjectedCrash(BaseException):
+    """The simulated process death raised at a crash point."""
+
+
+class FaultInjector:
+    """Context manager that crashes at the N-th intercepted fs op.
+
+    Parameters
+    ----------
+    crash_at:
+        1-based index of the intercepted operation that does NOT
+        execute (the "process died just before it" semantics; crashing
+        before op N equals crashing after op N-1, so sweeping
+        ``1..total`` plus the no-crash run covers every boundary).
+        ``None`` intercepts and records without crashing — the dry run
+        that enumerates a scenario's crash points.
+
+    obs:
+        Optional :class:`repro.obs.Telemetry` recorder. When given,
+        every intercepted op increments a
+        ``faultinject_ops_total{kind=...}`` counter and an injected
+        crash increments ``faultinject_crashes_total{kind=...}`` — so a
+        fault-harness run's telemetry snapshot shows which durability
+        boundaries the sweep actually exercised.
+
+    Attributes
+    ----------
+    trace:
+        ``(kind, path)`` of every intercepted op, in order — including,
+        last, the op a crash suppressed.
+    """
+
+    _TARGETS = ("replace", "rename", "fsync")
+
+    def __init__(self, crash_at: int | None = None, obs=None) -> None:
+        self.crash_at = crash_at
+        self.obs = obs
+        self.trace: list[tuple[str, str]] = []
+        self._originals: dict = {}
+
+    def __enter__(self) -> "FaultInjector":
+        for kind in self._TARGETS:
+            self._originals[kind] = getattr(os, kind)
+            setattr(os, kind, self._wrap(kind, self._originals[kind]))
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for kind, original in self._originals.items():
+            setattr(os, kind, original)
+        self._originals.clear()
+
+    def _wrap(self, kind: str, original):
+        def intercepted(*args, **kwargs):
+            self.trace.append((kind, str(args[0]) if args else ""))
+            if self.obs is not None and self.obs.enabled:
+                self.obs.counter("faultinject_ops_total", labels=("kind",)).labels(
+                    kind=kind
+                ).inc()
+            if self.crash_at is not None and len(self.trace) == self.crash_at:
+                if self.obs is not None and self.obs.enabled:
+                    self.obs.counter(
+                        "faultinject_crashes_total", labels=("kind",)
+                    ).labels(kind=kind).inc()
+                raise InjectedCrash(
+                    f"injected crash before {kind} #{len(self.trace)} "
+                    f"({self.trace[-1][1]})"
+                )
+            return original(*args, **kwargs)
+
+        return intercepted
+
+    def __len__(self) -> int:
+        return len(self.trace)
+
+
+# ----------------------------------------------------------------------
+# Named-boundary error injection
+# ----------------------------------------------------------------------
+
+#: Stack of active :class:`ErrorInjector` instances. Kept as a plain
+#: module list so :func:`fire` costs one truthiness check when empty.
+_ACTIVE: list["ErrorInjector"] = []
+
+
+def fire(boundary: str, path=None) -> None:
+    """Production-side hook: declare that ``boundary`` is being crossed.
+
+    Called unconditionally at every named durability/shipping boundary.
+    With no injector active this is one list truthiness check; with one
+    active, the innermost injector decides whether to delay, error, or
+    crash here. ``path`` (when the boundary touches a file) lets specs
+    target a subtree — e.g. one tenant's checkpoint directory.
+    """
+    if _ACTIVE:
+        _ACTIVE[-1]._hit(boundary, "" if path is None else str(path))
+
+
+@dataclass
+class FaultSpec:
+    """One injected fault at one named boundary.
+
+    Attributes
+    ----------
+    boundary:
+        The :data:`BOUNDARIES` name this spec matches.
+    error:
+        ``errno`` value to raise as :class:`OSError` on a matched hit
+        (e.g. ``errno.ENOSPC``); ``None`` injects no error.
+    latency_s:
+        Sleep this long (via the injector's ``sleep``) on every matched
+        hit, before any error decision — models a slow disk or link.
+    fail_times:
+        Inject the error only this many times, then let hits through
+        (transient-then-ok). ``None`` = persistent: every matched hit
+        fails until the injector exits or :meth:`ErrorInjector.lift`.
+    after:
+        Skip the first ``after`` matched hits before injecting.
+    probability:
+        With ``p < 1``, each otherwise-matching hit fails only if the
+        injector's seeded RNG draws below ``p`` — a reproducible flaky
+        schedule, not a real coin.
+    path_substring:
+        Only hits whose path contains this substring match — how a
+        sweep confines ENOSPC to one tenant's checkpoint directory.
+    crash_at:
+        Raise :class:`InjectedCrash` on the N-th (1-based) matched hit
+        instead of an error — crash sweeps for boundaries the
+        ``os``-level :class:`FaultInjector` cannot see (sqlite commits).
+    """
+
+    boundary: str
+    error: int | None = None
+    latency_s: float = 0.0
+    fail_times: int | None = None
+    after: int = 0
+    probability: float = 1.0
+    path_substring: str | None = None
+    crash_at: int | None = None
+    # Mutable per-run bookkeeping (not part of the spec identity).
+    matched: int = field(default=0, compare=False)
+    injected: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.boundary not in BOUNDARIES:
+            known = ", ".join(sorted(BOUNDARIES))
+            raise ValueError(
+                f"unknown fault boundary {self.boundary!r} (known: {known})"
+            )
+        if self.error is None and self.crash_at is None and self.latency_s <= 0:
+            raise ValueError(
+                "FaultSpec injects nothing: set error=, crash_at= or latency_s="
+            )
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+
+
+def enospc(boundary: str, **kwargs) -> FaultSpec:
+    """Persistent out-of-space at ``boundary`` (non-retryable by policy)."""
+    return FaultSpec(boundary, error=_errno.ENOSPC, **kwargs)
+
+
+def eio(boundary: str, *, fail_times: int | None = None, **kwargs) -> FaultSpec:
+    """I/O error at ``boundary``; ``fail_times`` makes it transient."""
+    return FaultSpec(boundary, error=_errno.EIO, fail_times=fail_times, **kwargs)
+
+
+def flaky(boundary: str, probability: float, *, error: int = _errno.EIO, **kwargs) -> FaultSpec:
+    """Seeded-coin transient errors: each hit fails with ``probability``."""
+    return FaultSpec(boundary, error=error, probability=probability, **kwargs)
+
+
+def slow(boundary: str, latency_s: float, **kwargs) -> FaultSpec:
+    """Pure latency injection at ``boundary`` (no error)."""
+    return FaultSpec(boundary, latency_s=latency_s, **kwargs)
+
+
+class ErrorInjector:
+    """Context manager injecting :class:`FaultSpec` faults at named boundaries.
+
+    Parameters
+    ----------
+    *specs:
+        The faults to arm. Several specs may name the same boundary;
+        the first one whose filters match a hit decides it.
+    seed:
+        Seeds the RNG behind ``probability`` schedules — the same seed
+        over the same code path injects at the same hits.
+    sleep:
+        Clock used for ``latency_s`` (injectable for fast tests).
+    obs:
+        Optional :class:`repro.obs.Telemetry`; matched injections
+        increment ``faultinject_errors_total{boundary=...}``.
+
+    Attributes
+    ----------
+    hits:
+        ``boundary -> total fire() crossings seen`` while active
+        (matched or not) — the dry-run census that sizes a sweep.
+    trace:
+        ``(boundary, path, action)`` per crossing, where ``action`` is
+        ``"ok"``, ``"error"`` or ``"crash"``.
+    """
+
+    def __init__(self, *specs: FaultSpec, seed: int = 0, sleep=time.sleep, obs=None) -> None:
+        self.specs = list(specs)
+        self.rng = random.Random(seed)
+        self.sleep = sleep
+        self.obs = obs
+        self.hits: dict[str, int] = {}
+        self.trace: list[tuple[str, str, str]] = []
+        self._lifted: list[FaultSpec] = []
+
+    def __enter__(self) -> "ErrorInjector":
+        _ACTIVE.append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _ACTIVE.remove(self)
+
+    def lift(self, boundary: str | None = None) -> None:
+        """Disarm specs (all, or those at ``boundary``) without exiting.
+
+        Models "the operator freed disk space": the injector stays
+        active for bookkeeping but stops injecting — the recovery
+        probes the degraded-mode machinery runs will now succeed.
+        """
+        kept = []
+        for spec in self.specs:
+            if boundary is None or spec.boundary == boundary:
+                self._lifted.append(spec)  # retire; keep its counts
+            else:
+                kept.append(spec)
+        self.specs = kept
+
+    def _hit(self, boundary: str, path: str) -> None:
+        self.hits[boundary] = self.hits.get(boundary, 0) + 1
+        for spec in self.specs:
+            if spec.boundary != boundary:
+                continue
+            if spec.path_substring is not None and spec.path_substring not in path:
+                continue
+            spec.matched += 1
+            if spec.latency_s > 0:
+                self.sleep(spec.latency_s)
+            if spec.crash_at is not None:
+                if spec.matched == spec.crash_at:
+                    spec.injected += 1
+                    self.trace.append((boundary, path, "crash"))
+                    self._count(boundary)
+                    raise InjectedCrash(
+                        f"injected crash at {boundary} hit #{spec.matched} ({path})"
+                    )
+                continue
+            if spec.error is None:
+                continue  # latency-only spec
+            if spec.matched <= spec.after:
+                continue
+            if spec.fail_times is not None and spec.injected >= spec.fail_times:
+                continue
+            if spec.probability < 1.0 and self.rng.random() >= spec.probability:
+                continue
+            spec.injected += 1
+            self.trace.append((boundary, path, "error"))
+            self._count(boundary)
+            raise OSError(
+                spec.error,
+                f"injected {_errno.errorcode.get(spec.error, spec.error)} "
+                f"at {boundary} hit #{spec.matched}",
+                path or None,
+            )
+        self.trace.append((boundary, path, "ok"))
+
+    def _count(self, boundary: str) -> None:
+        if self.obs is not None and self.obs.enabled:
+            self.obs.counter(
+                "faultinject_errors_total", labels=("boundary",)
+            ).labels(boundary=boundary).inc()
+
+    def injected_total(self) -> int:
+        return sum(spec.injected for spec in self.specs + self._lifted)
+
+
+def tear_file(path, seed: int, min_keep: int = 1) -> int:
+    """Truncate ``path`` to a seeded, deterministic prefix; returns kept bytes.
+
+    Simulates the write-side fault :class:`FaultInjector` cannot reach
+    (buffered writes never cross an interceptable os boundary): the
+    file exists but only a prefix of its bytes made it to the medium.
+    """
+    data = path.read_bytes()
+    if len(data) <= min_keep:
+        raise ValueError(f"{path} too small to tear ({len(data)} bytes)")
+    keep = random.Random(seed).randrange(min_keep, len(data))
+    path.write_bytes(data[:keep])
+    return keep
+
+
+def sample_crash_points(total: int, k: int, seed: int) -> list[int]:
+    """A seeded, sorted subset of ``1..total`` for non-exhaustive sweeps."""
+    if total < 1:
+        return []
+    k = min(k, total)
+    return sorted(random.Random(seed).sample(range(1, total + 1), k))
+
+
+__all__ = [
+    "BOUNDARIES",
+    "ErrorInjector",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedCrash",
+    "enospc",
+    "eio",
+    "fire",
+    "flaky",
+    "sample_crash_points",
+    "slow",
+    "tear_file",
+]

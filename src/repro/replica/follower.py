@@ -40,6 +40,8 @@ import sys
 import time
 from typing import Callable
 
+from repro.errors import DurabilityError
+from repro.faults.retry import RetryPolicy
 from repro.obs.health import CheckResult, HealthRegistry, degraded, failing, ok
 from repro.obs.logging import NULL_LOGGER, StructuredLogger
 from repro.obs.server import ObsServer
@@ -73,6 +75,12 @@ class FollowerDaemon:
         nothing (useful under tests driving :meth:`run_once` directly).
     poll_interval:
         Seconds between spool drains in :meth:`run`.
+    retry:
+        :class:`~repro.faults.RetryPolicy` around each spool drain, so
+        a transient read error heals under backoff within one
+        :meth:`run_once` instead of waiting a whole poll interval.
+        Exhaustion degrades the ``spool`` health check rather than
+        killing the daemon.
     """
 
     def __init__(
@@ -85,15 +93,20 @@ class FollowerDaemon:
         listen: str | None = None,
         poll_interval: float = 0.5,
         tenant: str | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if poll_interval <= 0:
             raise ValueError("poll_interval must be > 0")
         self.name = name
         self.poll_interval = poll_interval
+        self.retry = retry if retry is not None else RetryPolicy()
         self.transport = MailboxTransport(spool)
         self.replica = ReadReplica(
             engine_factory, config, self.transport, name=name, tenant=tenant
         )
+        # Quarantines land on transport_quarantined_total, not only the
+        # bare attribute (satellite of the fault-tolerance story).
+        self.transport.obs = self.replica.obs
         self.logger = (
             self.replica.service.logger.child(f"follower.{name}")
             if self.replica.service.logger.enabled
@@ -107,6 +120,9 @@ class FollowerDaemon:
         #: Unhealed gap from the last drain (needs a primary-side
         #: resync); cleared by the next successful poll.
         self.gap: str | None = None
+        #: Last drain's retry-exhausted error (spool I/O kept failing);
+        #: degrades the ``spool`` check until a drain succeeds.
+        self.poll_error: str | None = None
         # The daemon's own registry delegates to the *live* service's
         # checks (the replica replaces its service on snapshot restore,
         # registry and all), and adds the spool + bootstrap gate.
@@ -136,6 +152,8 @@ class FollowerDaemon:
         }
         if self.gap is not None:
             return failing(self.gap, **data)
+        if self.poll_error is not None:
+            return degraded(self.poll_error, **data)
         if self.transport.quarantined:
             return degraded(
                 f"{self.transport.quarantined} artifacts quarantined", **data
@@ -162,13 +180,24 @@ class FollowerDaemon:
         """
         self.polls += 1
         try:
-            applied = self.replica.poll()
+            applied = self.retry.run(
+                self.replica.poll, boundary="ship.poll", obs=self.replica.obs
+            )
         except ReplicationGap as exc:
             self.gap = str(exc)
             if self.logger.enabled:
                 self.logger.error("replication_gap", detail=str(exc))
             return 0
+        except DurabilityError as exc:
+            # Spool I/O kept failing past the retry budget: keep serving
+            # stale-but-consistent state, flag the spool check, and let
+            # the next poll tick try again.
+            self.poll_error = str(exc)
+            if self.logger.enabled:
+                self.logger.error("spool_poll_exhausted", detail=str(exc))
+            return 0
         self.gap = None
+        self.poll_error = None
         self.ops_applied += applied
         if not self.bootstrapped and (
             self.replica.received_seq > 0
@@ -213,6 +242,7 @@ class FollowerDaemon:
             "ops_applied": self.ops_applied,
             "bootstrapped": self.bootstrapped,
             "gap": self.gap,
+            "poll_error": self.poll_error,
             "obs_address": self.obs_address,
             "replica": self.replica.lag(),
         }

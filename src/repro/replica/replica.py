@@ -36,6 +36,7 @@ import time
 from dataclasses import replace
 from typing import Callable
 
+from repro.faults.inject import fire
 from repro.obs.health import check_replica_lag
 from repro.obs.telemetry import make_telemetry
 from repro.stream.checkpoint import open_checkpoints
@@ -128,6 +129,7 @@ class ReadReplica:
         # The recover path does all the heavy lifting: restore the
         # newest snapshot, refuse divergent round-cut parameters,
         # replay the local log suffix.
+        fire("replica.bootstrap", config.oplog_path)
         with obs.span("replica.bootstrap", component=name):
             with _internal_construction():
                 self.service = ClusteringService.recover(
@@ -460,6 +462,9 @@ class ReadReplica:
         snapshot["duplicates_dropped"] = self.duplicates_dropped
         snapshot["snapshots_applied"] = self.snapshots_applied
         snapshot["snapshots_skipped"] = self.snapshots_skipped
+        # Spool damage the transport set aside (0 for transports that
+        # never quarantine, e.g. in-process queues).
+        snapshot["transport_quarantined"] = getattr(self.transport, "quarantined", 0)
         return snapshot
 
     def checkpoint(self):

@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.faults.retry import RetryPolicy
 from repro.obs.telemetry import NULL_TELEMETRY
 from repro.stream.oplog import LogBackend
 
@@ -68,6 +69,14 @@ class LogShipper:
     clock:
         Wall-clock source stamped into artifacts (``time.time`` domain;
         injectable for deterministic staleness tests).
+    retry:
+        :class:`~repro.faults.RetryPolicy` wrapped around every
+        transport publish, so a transient spool error (fd pressure, a
+        flaky synced filesystem) heals under backoff instead of
+        aborting the whole ship. Exhaustion surfaces as the typed
+        :class:`~repro.errors.DurabilityError` with boundary
+        ``"ship.publish"``. Defaults to a small policy; pass
+        ``repro.faults.NO_RETRY`` to restore fail-fast behaviour.
     """
 
     def __init__(
@@ -78,6 +87,7 @@ class LogShipper:
         max_segment_ops: int = 512,
         clock: Callable[[], float] = time.time,
         obs=NULL_TELEMETRY,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if max_segment_ops < 1:
             raise ValueError("max_segment_ops must be >= 1")
@@ -85,6 +95,7 @@ class LogShipper:
         self.snapshots = snapshots
         self.max_segment_ops = max_segment_ops
         self.clock = clock
+        self.retry = retry if retry is not None else RetryPolicy()
         #: Observability recorder (shared with the owning topology so
         #: shipping latencies land in the merged snapshot).
         self.obs = obs
@@ -158,16 +169,25 @@ class LogShipper:
             break
         if published == 0 and heartbeat:
             with self.obs.span("ship.publish", kind="heartbeat"):
-                sub.transport.publish(
+                self._publish(
+                    sub.transport,
                     LogSegment.heartbeat(
                         sub.shipped_seq,
                         primary_seq,
                         now,
                         primary_watermark_ts=self.log.last_watermark_ts,
-                    )
+                    ),
                 )
             published += 1
         return published
+
+    def _publish(self, transport: Transport, artifact) -> None:
+        """One retried transport publish (boundary ``ship.publish``)."""
+        self.retry.run(
+            lambda: transport.publish(artifact),
+            boundary="ship.publish",
+            obs=self.obs,
+        )
 
     def _publish_chunk(
         self, sub: _Subscription, chunk: list, primary_seq: int, now: float
@@ -181,7 +201,7 @@ class LogShipper:
             primary_watermark_ts=self.log.last_watermark_ts,
         )
         with self.obs.span("ship.publish", kind="segment", ops=len(segment)):
-            sub.transport.publish(segment)
+            self._publish(sub.transport, segment)
         sub.shipped_seq = segment.last_seq
         sub.segments_shipped += 1
         sub.ops_shipped += len(segment)
@@ -203,13 +223,14 @@ class LogShipper:
                 with self.obs.span(
                     "ship.publish", kind="snapshot", applied_seq=applied_seq
                 ):
-                    sub.transport.publish(
+                    self._publish(
+                        sub.transport,
                         SnapshotArtifact.from_state(
                             state,
                             primary_seq=self.log.last_seq,
                             shipped_at=now,
                             primary_watermark_ts=self.log.last_watermark_ts,
-                        )
+                        ),
                     )
                 sub.shipped_seq = applied_seq
                 sub.snapshots_shipped += 1
@@ -249,7 +270,7 @@ class LogShipper:
             shipped_at=self.clock(),
             primary_watermark_ts=self.log.last_watermark_ts,
         )
-        sub.transport.publish(artifact)
+        self._publish(sub.transport, artifact)
         sub.shipped_seq = artifact.applied_seq
         sub.snapshots_shipped += 1
         return artifact.applied_seq

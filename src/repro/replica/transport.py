@@ -22,6 +22,8 @@ import pathlib
 import re
 from collections import deque
 
+from repro.faults.inject import fire
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.stream.checkpoint import fsync_directory
 
 from .segment import LogSegment, SnapshotArtifact
@@ -55,12 +57,21 @@ class InProcessTransport(Transport):
         return len(self._queue)
 
     def publish(self, artifact) -> None:
+        fire("ship.publish")
         self._queue.append(artifact)
 
     def poll(self) -> list:
-        drained = list(self._queue)
-        self._queue.clear()
-        return drained
+        fire("ship.poll")
+        # Drain by popping, never snapshot-then-clear: an artifact
+        # published between a ``list(...)`` copy and the ``clear()``
+        # (another thread's shipper) would be silently dropped.
+        drained = []
+        queue = self._queue
+        while True:
+            try:
+                drained.append(queue.popleft())
+            except IndexError:
+                return drained
 
 
 def _spool_key(path: pathlib.Path) -> tuple:
@@ -104,6 +115,10 @@ class MailboxTransport(Transport):
         self.directory.mkdir(parents=True, exist_ok=True)
         #: Undecodable files set aside by this instance (telemetry).
         self.quarantined = 0
+        #: Observability recorder; the owning follower/replica replaces
+        #: it so quarantines land on ``transport_quarantined_total``
+        #: instead of only the bare attribute.
+        self.obs = NULL_TELEMETRY
 
     def _name_for(self, artifact) -> str:
         if isinstance(artifact, SnapshotArtifact):
@@ -115,6 +130,7 @@ class MailboxTransport(Transport):
 
     def publish(self, artifact) -> None:
         path = self.directory / self._name_for(artifact)
+        fire("ship.publish", path)
         temp = path.with_name(path.name + ".tmp")
         with open(temp, "w", encoding="utf-8") as handle:
             json.dump(artifact.to_dict(), handle)
@@ -137,8 +153,18 @@ class MailboxTransport(Transport):
         except OSError:
             return  # vanished under us; nothing left to set aside
         self.quarantined += 1
+        if self.obs.enabled:
+            self.obs.counter(
+                "transport_quarantined_total",
+                help="Undecodable spool files set aside by MailboxTransport",
+            ).inc()
 
     def poll(self) -> list:
+        # Fired before anything is consumed: an injected poll error
+        # models the whole spool being unreachable (a synced-filesystem
+        # blip), propagates to the follower's retry policy, and leaves
+        # every artifact pending for the attempt that succeeds.
+        fire("ship.poll", self.directory)
         artifacts = []
         for path in self.pending():
             loader = (

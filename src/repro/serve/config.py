@@ -87,6 +87,13 @@ class ServeConfig:
         Per-tenant ceiling on buffered (logged-but-unapplied) backlog.
     max_segment_ops:
         Replication segment bound for the shared-log shipper.
+    degraded_probe_s, degraded_probe_max_s:
+        Degraded-mode probe spacing: when a durability breaker opens
+        (shared-log append or a tenant's checkpoint path kept failing),
+        the first recovery probe runs after ``degraded_probe_s``
+        seconds, doubling per consecutive failure up to
+        ``degraded_probe_max_s``. Probes piggyback on ingest attempts
+        and ``/readyz`` evaluation — no background thread.
     """
 
     engine_factory: Any
@@ -111,6 +118,8 @@ class ServeConfig:
     quota_max_objects: int | None = None
     quota_max_pending: int | None = None
     max_segment_ops: int = 512
+    degraded_probe_s: float = 1.0
+    degraded_probe_max_s: float = 30.0
 
     def __post_init__(self) -> None:
         if not callable(self.engine_factory):
@@ -152,6 +161,13 @@ class ServeConfig:
             raise ConfigError("quota_max_pending must be >= 1")
         if self.max_segment_ops < 1:
             raise ConfigError("max_segment_ops must be >= 1")
+        if self.degraded_probe_s <= 0:
+            raise ConfigError("degraded_probe_s must be > 0")
+        if self.degraded_probe_max_s < self.degraded_probe_s:
+            raise ConfigError(
+                "degraded_probe_max_s must be >= degraded_probe_s "
+                "(it caps the doubling probe backoff)"
+            )
         # Delegate the shared streaming knobs (shard counts, router,
         # backends, telemetry setting...) to the single validation
         # point they have always had.

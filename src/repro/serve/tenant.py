@@ -36,12 +36,22 @@ manager owns:
 
 from __future__ import annotations
 
+import os
 import re
 import time
 from collections import OrderedDict
 from typing import Any, Iterable, Sequence
 
-from repro.errors import ConfigError, QuotaExceeded, UnknownTenantError
+from repro.errors import (
+    ConfigError,
+    DegradedError,
+    DurabilityError,
+    QuotaExceeded,
+    UnknownTenantError,
+)
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.inject import fire
+from repro.faults.retry import RetryPolicy
 from repro.obs.health import HealthRegistry, check_oplog, degraded, ok
 from repro.obs.logging import NULL_LOGGER, StructuredLogger
 from repro.obs.telemetry import make_telemetry
@@ -161,9 +171,36 @@ class TenantManager:
             "resident_tenants",
             help="Tenant engine pools currently live in memory",
         )
+        self._degraded_total = 0
+        self._degraded_counter = self.telemetry.counter(
+            "degraded_rejections_total",
+            labels=("tenant", "reason"),
+            help="Ingest batches rejected because a durability path is degraded",
+        )
+        #: Retry policy around shared-log appends: transient I/O heals
+        #: in place; ENOSPC / exhaustion opens the oplog breaker.
+        self._oplog_retry = RetryPolicy()
+        #: Shared-path breaker: when the multi-tenant log cannot append,
+        #: *every* tenant's ingest is down — severity ``failing`` so
+        #: ``/readyz`` answers 503. No probe callable: the half-open
+        #: trial is the next real ingest's append.
+        self._oplog_breaker = CircuitBreaker(
+            "oplog",
+            base_backoff_s=config.degraded_probe_s,
+            max_backoff_s=config.degraded_probe_max_s,
+            obs=self.telemetry,
+        )
+        #: Per-tenant checkpoint-path breakers, created on first failure
+        #: or first activation; severity ``degraded`` — one tenant's
+        #: full disk must not 503 its neighbours.
+        self._breakers: dict[str, CircuitBreaker] = {}
         self.health = HealthRegistry()
         self.health.register("oplog", check_oplog(self.oplog))
         self.health.register("residency", self._check_residency)
+        if self.oplog is not None:
+            self.health.register(
+                "durability", self._oplog_breaker.health_check("failing")
+            )
         self._health_tenants: set[str] = set()
         if self.logger.enabled:
             self.logger.info(
@@ -245,21 +282,43 @@ class TenantManager:
         if name not in self._health_tenants:
             self._health_tenants.add(name)
             self.health.register(f"tenant:{name}", self._tenant_probe(name))
+            if self.config.tenant_checkpoint_dir(name) is not None:
+                self.health.register(
+                    f"tenant:{name}:durability",
+                    self._tenant_breaker(name).health_check("degraded"),
+                )
         if self.logger.enabled:
             self.logger.info(
                 "tenant_activated", tenant=name, applied_seq=service.applied_seq
             )
         cap = self.config.max_resident_tenants
         while cap is not None and len(self._residents) > cap:
-            self._evict_lru(keep=name)
+            if not self._evict_lru(keep=name):
+                break  # nothing evictable; run over-cap (residency degrades)
         self._resident_gauge.set(len(self._residents))
         return entry
 
-    def _evict_lru(self, keep: str) -> None:
-        for candidate in self._residents:
-            if candidate != keep:
+    def _evict_lru(self, keep: str) -> bool:
+        """Evict the LRU-most evictable tenant; returns whether one went.
+
+        A tenant whose checkpoint path is degraded (open breaker, probe
+        still failing) is passed over rather than retried on every
+        activation — the next candidate goes instead. When *no* tenant
+        can be parked, the manager runs over-cap: strictly better than
+        refusing admission because one tenant's disk is full.
+        """
+        for candidate in list(self._residents):
+            if candidate == keep:
+                continue
+            breaker = self._breakers.get(candidate)
+            if breaker is not None and not breaker.maybe_probe() and not breaker.allow():
+                continue
+            try:
                 self.evict(candidate)
-                return
+            except (DegradedError, OSError):
+                continue  # evict() recorded the failure; try the next one
+            return True
+        return False
 
     def evict(self, name: str) -> None:
         """Checkpoint a tenant's pool out of memory (reloads lazily).
@@ -278,8 +337,17 @@ class TenantManager:
                 "so there is no checkpoint store to park its state in"
             )
         with self.telemetry.span("serve.tenant.evict", tenant=name):
-            entry.service.checkpoint()
+            try:
+                entry.service.checkpoint()
+            except (OSError, DurabilityError) as exc:
+                # Can't park state we can't persist: put the entry back
+                # (as LRU-most, so other tenants evict first), open the
+                # tenant's breaker and reject typed.
+                self._residents[name] = entry
+                self._residents.move_to_end(name, last=False)
+                self._fail_tenant(name, "checkpoint.save", exc)
             entry.service.close()
+        self._tenant_breaker(name).record_success()
         self._evictions_total += 1
         self._eviction_counter.labels(tenant=name).inc()
         self._resident_gauge.set(len(self._residents))
@@ -305,6 +373,26 @@ class TenantManager:
         """
         start = time.perf_counter()
         entry = self.activate(tenant)
+        # Degradation gates precede quota checks: a write the durability
+        # path cannot honour must not drain rate-limit tokens. The
+        # shared-log breaker recovers through its own half-open trial
+        # (the append below); a tenant breaker recovers via its probe.
+        if self.oplog is not None and not self._oplog_breaker.allow():
+            self._reject_degraded(
+                None,
+                "oplog.append",
+                self._oplog_breaker.retry_after_s(),
+                self._oplog_breaker.last_error,
+                counted_tenant=tenant,
+            )
+        breaker = self._breakers.get(tenant)
+        if breaker is not None and not breaker.maybe_probe() and not breaker.allow():
+            self._reject_degraded(
+                tenant,
+                "checkpoint.save",
+                breaker.retry_after_s(),
+                breaker.last_error,
+            )
         ops = [ClusteringService._coerce(op) for op in operations]
         if any(op.kind == FLUSH for op in ops):
             raise ValueError(
@@ -328,7 +416,27 @@ class TenantManager:
             # so the stamp is durable and replays verbatim.
             stamped = entry.service.router.assign(stamped)
             if self.oplog is not None:
-                stamped = self.oplog.append(stamped)
+                to_append = stamped
+                try:
+                    stamped = self._oplog_retry.run(
+                        lambda: self.oplog.append(to_append),
+                        boundary="oplog.append",
+                        obs=self.telemetry,
+                    )
+                except (OSError, DurabilityError) as exc:
+                    # Retries exhausted (or a non-retryable ENOSPC):
+                    # shed writes, keep serving reads. Nothing was
+                    # logged, so nothing is applied — the rejection is
+                    # atomic like a quota bounce.
+                    self._oplog_breaker.record_failure(exc)
+                    self._reject_degraded(
+                        None,
+                        "oplog.append",
+                        self._oplog_breaker.retry_after_s(),
+                        exc,
+                        counted_tenant=tenant,
+                    )
+                self._oplog_breaker.record_success()
             else:
                 stamped = [
                     op.with_seq(self._next_seq + offset)
@@ -431,6 +539,109 @@ class TenantManager:
         )
 
     # ------------------------------------------------------------------
+    # Degraded mode
+    # ------------------------------------------------------------------
+    def _tenant_breaker(self, name: str) -> CircuitBreaker:
+        """The named tenant's checkpoint-path breaker (created lazily)."""
+        breaker = self._breakers.get(name)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                f"tenant:{name}",
+                probe=self._durability_probe(name),
+                base_backoff_s=self.config.degraded_probe_s,
+                max_backoff_s=self.config.degraded_probe_max_s,
+                obs=self.telemetry,
+            )
+            self._breakers[name] = breaker
+        return breaker
+
+    def _durability_probe(self, name: str):
+        """A cheap write+fsync re-test of one tenant's checkpoint path.
+
+        Routed through the ``checkpoint.save`` fault boundary with the
+        probe file's path, so an injected (or real) fault scoped to
+        this tenant's directory keeps the probe failing until lifted.
+        """
+        directory = self.config.tenant_checkpoint_dir(name)
+
+        def probe() -> None:
+            if directory is None:
+                return
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / ".durability-probe"
+            fire("checkpoint.save", path)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write("ok")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.unlink(path)
+
+        return probe
+
+    def _fail_tenant(self, name: str, reason: str, cause: Exception) -> None:
+        """Record a tenant durability failure and raise typed.
+
+        Unlike :meth:`_reject_degraded` this does not count an ingest
+        rejection — it types a failed checkpoint/evict, opening the
+        breaker that future ingests and ``/readyz`` consult.
+        """
+        breaker = self._tenant_breaker(name)
+        breaker.record_failure(cause)
+        if self.logger.enabled:
+            self.logger.error(
+                "tenant_degraded", tenant=name, reason=reason, detail=str(cause)
+            )
+        raise DegradedError(
+            name,
+            reason,
+            f"tenant {name!r} durability path is degraded at {reason}: {cause} "
+            f"— reads keep serving; next probe in "
+            f"{breaker.retry_after_s():.3f}s",
+            retry_after_s=breaker.retry_after_s(),
+        ) from cause
+
+    def _reject_degraded(
+        self,
+        tenant: str | None,
+        reason: str,
+        retry_after_s: float | None,
+        cause=None,
+        *,
+        counted_tenant: str | None = None,
+    ) -> None:
+        label = tenant if tenant is not None else "_shared"
+        self._degraded_total += 1
+        self._degraded_counter.labels(tenant=label, reason=reason).inc()
+        if self.logger.enabled:
+            self.logger.warning(
+                "degraded_rejected",
+                tenant=counted_tenant or tenant,
+                reason=reason,
+                retry_after_s=retry_after_s,
+            )
+        scope = (
+            f"tenant {tenant!r}"
+            if tenant is not None
+            else "the shared oplog (all tenants)"
+        )
+        hint = (
+            f"retry in {retry_after_s:.3f}s"
+            if retry_after_s is not None
+            else "no recovery probe is scheduled"
+        )
+        error = DegradedError(
+            tenant,
+            reason,
+            f"ingest rejected: {scope} is degraded at {reason} "
+            f"({cause if cause is not None else 'durability failure'}) — "
+            f"reads keep serving; {hint}",
+            retry_after_s=retry_after_s,
+        )
+        if isinstance(cause, BaseException):
+            raise error from cause
+        raise error
+
+    # ------------------------------------------------------------------
     # Round control / durability
     # ------------------------------------------------------------------
     def flush(self, tenant: str) -> None:
@@ -457,9 +668,21 @@ class TenantManager:
             self.flush(name)
 
     def checkpoint(self, tenant: str):
-        """Snapshot one tenant's pool; returns the snapshot path."""
+        """Snapshot one tenant's pool; returns the snapshot path.
+
+        A checkpoint that keeps failing (retry-exhausted transient I/O,
+        or non-retryable ENOSPC) opens the tenant's durability breaker
+        and raises :class:`~repro.errors.DegradedError` — state remains
+        recoverable from the shared log, reads keep serving, and the
+        breaker's probe closes it again once the path heals.
+        """
         entry = self.activate(tenant)
-        return entry.service.checkpoint()
+        try:
+            path = entry.service.checkpoint()
+        except (OSError, DurabilityError) as exc:
+            self._fail_tenant(tenant, "checkpoint.save", exc)
+        self._tenant_breaker(tenant).record_success()
+        return path
 
     def checkpoint_all(self) -> list:
         return [self.checkpoint(name) for name in self.resident()]
@@ -617,6 +840,15 @@ class TenantManager:
                 tenant: dict(per_tenant)
                 for tenant, per_tenant in sorted(self._rejections.items())
             },
+            "degraded_rejections_total": self._degraded_total,
+            "durability": {
+                "oplog": self._oplog_breaker.status(),
+                "tenants": {
+                    name: breaker.status()
+                    for name, breaker in sorted(self._breakers.items())
+                    if breaker.state != "closed"
+                },
+            },
             "oplog": (
                 {
                     "last_seq": self.oplog.last_seq,
@@ -674,7 +906,18 @@ class TenantManager:
         self._replicas.clear()
         for entry in self._residents.values():
             if entry.service.checkpoints is not None:
-                entry.service.checkpoint()
+                try:
+                    entry.service.checkpoint()
+                except (OSError, DurabilityError) as exc:
+                    # Shutdown must not wedge on a full disk: the
+                    # tenant's state stays recoverable from its last
+                    # checkpoint plus the shared-log suffix.
+                    if self.logger.enabled:
+                        self.logger.error(
+                            "close_checkpoint_failed",
+                            tenant=entry.name,
+                            detail=str(exc),
+                        )
             entry.service.close()
         self._residents.clear()
         self._resident_gauge.set(0)

@@ -20,6 +20,7 @@ import os
 import pathlib
 import re
 
+from repro.faults.inject import fire
 from repro.obs.telemetry import NULL_TELEMETRY
 
 _NAME = re.compile(r"^checkpoint-(\d+)\.json$")
@@ -107,6 +108,7 @@ class CheckpointManager(CheckpointStore):
         """Write a snapshot; ``state['applied_seq']`` names the file."""
         applied_seq = int(state["applied_seq"])
         path = self._path_for(applied_seq)
+        fire("checkpoint.save", path)
         temp = path.with_suffix(".json.tmp")
         with open(temp, "w", encoding="utf-8") as handle:
             json.dump(state, handle)
@@ -130,6 +132,7 @@ class CheckpointManager(CheckpointStore):
         for applied_seq in reversed(self.list_seqs()):
             path = self._path_for(applied_seq)
             try:
+                fire("checkpoint.load", path)
                 with open(path, "r", encoding="utf-8") as handle:
                     return json.load(handle)
             except (json.JSONDecodeError, OSError):

@@ -31,6 +31,7 @@ import os
 import pathlib
 from typing import Iterator, Sequence
 
+from repro.faults.inject import fire
 from repro.obs.telemetry import NULL_TELEMETRY
 
 from .events import Operation
@@ -190,19 +191,36 @@ class OperationLog(LogBackend):
     def _write_lines(self, lines: list[str]) -> None:
         if not lines:
             return
+        fire("oplog.append", self.path)
         obs = self.obs
-        if obs.enabled:
-            with obs.span("oplog.append", records=len(lines)):
-                self._handle.write("\n".join(lines) + "\n")
-                self._handle.flush()
-                if self.fsync:
-                    with obs.span("oplog.fsync"):
-                        os.fsync(self._handle.fileno())
-            return
-        self._handle.write("\n".join(lines) + "\n")
-        self._handle.flush()
-        if self.fsync:
-            os.fsync(self._handle.fileno())
+        start = self._handle.tell()
+        try:
+            if obs.enabled:
+                with obs.span("oplog.append", records=len(lines)):
+                    self._handle.write("\n".join(lines) + "\n")
+                    self._handle.flush()
+                    if self.fsync:
+                        fire("oplog.fsync", self.path)
+                        with obs.span("oplog.fsync"):
+                            os.fsync(self._handle.fileno())
+                return
+            self._handle.write("\n".join(lines) + "\n")
+            self._handle.flush()
+            if self.fsync:
+                fire("oplog.fsync", self.path)
+                os.fsync(self._handle.fileno())
+        except Exception:
+            # An I/O *error* (not a crash: InjectedCrash is a
+            # BaseException and skips this, like real process death
+            # would) may leave the batch partially written — e.g. the
+            # write landed but the fsync failed. Rewind so a retry of
+            # the same batch cannot append duplicate records after the
+            # flushed first attempt.
+            try:
+                self._handle.truncate(start)
+            except OSError:
+                pass  # reopen-time tail healing remains the backstop
+            raise
 
     def append(self, operations: Sequence[Operation]) -> list[Operation]:
         stamped = []
@@ -269,6 +287,7 @@ class OperationLog(LogBackend):
         Safe against crashes: the suffix is written to a temp file which
         is atomically renamed over the log.
         """
+        fire("oplog.compact", self.path)
         kept = list(self.iter_from(after_seq=upto_seq))
         temp = self.path.with_suffix(self.path.suffix + ".compact")
         # Write the suffix before touching the live handle: a failure

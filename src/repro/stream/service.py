@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from repro.errors import ConfigError
+from repro.faults.retry import RetryPolicy
 from repro.obs.health import (
     HealthRegistry,
     check_backlog,
@@ -300,6 +301,9 @@ class ClusteringService:
         )
         if self.checkpoints is not None:
             self.checkpoints.obs = self.telemetry
+        #: Retry policy around checkpoint persistence (transient I/O
+        #: heals in place; ENOSPC and exhaustion propagate typed).
+        self._checkpoint_retry = RetryPolicy()
         #: Sequence number of the last operation applied to a shard.
         self.applied_seq = 0
         #: Freshness watermark of applied state: the newest
@@ -697,7 +701,14 @@ class ClusteringService:
             "shards": [shard.checkpoint_state() for shard in self.shards],
         }
         with self.telemetry.span("checkpoint.save", applied_seq=self.applied_seq):
-            path = self.checkpoints.save(state)
+            # Transient I/O heals under backoff; exhaustion (or a
+            # non-retryable ENOSPC) propagates for the serve layer's
+            # breakers to turn into degraded mode.
+            path = self._checkpoint_retry.run(
+                lambda: self.checkpoints.save(state),
+                boundary="checkpoint.save",
+                obs=self.telemetry,
+            )
         if self.logger.enabled:
             self.logger.info("checkpoint_saved", applied_seq=self.applied_seq)
         if self.oplog is not None and self.config.compact_on_checkpoint:

@@ -23,6 +23,8 @@ import pathlib
 import sqlite3
 from typing import Iterator, Sequence
 
+from repro.faults.inject import fire
+
 from .checkpoint import CheckpointStore
 from .events import Operation
 from .oplog import LogBackend
@@ -83,25 +85,49 @@ class SqliteOperationLog(LogBackend):
         return last_seq
 
     # ------------------------------------------------------------------
+    def _rollback(self) -> None:
+        """Abandon an in-flight transaction so the connection stays usable.
+
+        A fault injected between BEGIN and COMMIT leaves the connection
+        mid-transaction; without the rollback the *retry* would die on
+        "cannot start a transaction within a transaction" instead of
+        exercising the recovery path. On-disk state is unchanged either
+        way — an uncommitted transaction is exactly what crash recovery
+        discards.
+        """
+        try:
+            self._conn.execute("ROLLBACK")
+        except sqlite3.Error:
+            pass  # no transaction active, or the connection is gone
+
     def _insert(self, rows: list[tuple[int, str]]) -> None:
         if not rows:
             return
+        fire("oplog.append", self.path)
         obs = self.obs
-        if obs.enabled:
-            # The COMMIT is where sqlite pays its durability cost (the
-            # fsync analogue under synchronous=FULL), so it gets its own
-            # span like the JSONL backend's oplog.fsync.
-            with obs.span("oplog.append", records=len(rows)):
-                self._conn.execute("BEGIN")
-                self._conn.executemany(
-                    "INSERT INTO oplog (seq, record) VALUES (?, ?)", rows
-                )
-                with obs.span("oplog.fsync"):
-                    self._conn.execute("COMMIT")
-            return
-        self._conn.execute("BEGIN")
-        self._conn.executemany("INSERT INTO oplog (seq, record) VALUES (?, ?)", rows)
-        self._conn.execute("COMMIT")
+        try:
+            if obs.enabled:
+                # The COMMIT is where sqlite pays its durability cost (the
+                # fsync analogue under synchronous=FULL), so it gets its own
+                # span like the JSONL backend's oplog.fsync.
+                with obs.span("oplog.append", records=len(rows)):
+                    self._conn.execute("BEGIN")
+                    self._conn.executemany(
+                        "INSERT INTO oplog (seq, record) VALUES (?, ?)", rows
+                    )
+                    fire("oplog.fsync", self.path)
+                    with obs.span("oplog.fsync"):
+                        self._conn.execute("COMMIT")
+                return
+            self._conn.execute("BEGIN")
+            self._conn.executemany(
+                "INSERT INTO oplog (seq, record) VALUES (?, ?)", rows
+            )
+            fire("oplog.fsync", self.path)
+            self._conn.execute("COMMIT")
+        except BaseException:  # includes InjectedCrash
+            self._rollback()
+            raise
 
     def append(self, operations: Sequence[Operation]) -> list[Operation]:
         stamped = []
@@ -148,12 +174,19 @@ class SqliteOperationLog(LogBackend):
             yield Operation.from_dict(json.loads(record))
 
     def compact(self, upto_seq: int) -> int:
-        self._conn.execute("BEGIN")
-        dropped = self._conn.execute(
-            "DELETE FROM oplog WHERE seq <= ?", (upto_seq,)
-        ).rowcount
-        self._conn.execute("COMMIT")
+        fire("oplog.compact", self.path)
+        try:
+            self._conn.execute("BEGIN")
+            dropped = self._conn.execute(
+                "DELETE FROM oplog WHERE seq <= ?", (upto_seq,)
+            ).rowcount
+            fire("oplog.fsync", self.path)
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._rollback()
+            raise
         if dropped:
+            fire("oplog.compact", self.path)
             # Reclaim the pages too — the JSONL backend rewrites its
             # file on compact, and the whole point of compaction is a
             # bounded on-disk footprint (size_bytes feeds oplog_bytes /
@@ -205,16 +238,26 @@ class SqliteCheckpointStore(CheckpointStore):
 
     def save(self, state: dict) -> pathlib.Path:
         applied_seq = int(state["applied_seq"])
-        self._conn.execute("BEGIN")
-        self._conn.execute(
-            "INSERT OR REPLACE INTO checkpoints (applied_seq, state) VALUES (?, ?)",
-            (applied_seq, json.dumps(state)),
-        )
-        self._conn.execute("COMMIT")
+        fire("checkpoint.save", self.path)
+        try:
+            self._conn.execute("BEGIN")
+            self._conn.execute(
+                "INSERT OR REPLACE INTO checkpoints (applied_seq, state) "
+                "VALUES (?, ?)",
+                (applied_seq, json.dumps(state)),
+            )
+            self._conn.execute("COMMIT")
+        except BaseException:
+            try:
+                self._conn.execute("ROLLBACK")
+            except sqlite3.Error:
+                pass
+            raise
         self.prune()
         return self.path
 
     def load_latest(self) -> dict | None:
+        fire("checkpoint.load", self.path)
         for (state,) in self._conn.execute(
             "SELECT state FROM checkpoints ORDER BY applied_seq DESC"
         ):

@@ -1,130 +1,19 @@
-"""Deterministic fault injection for the durability paths.
+"""Deprecated shim — the fault-injection harness moved into the package.
 
-The crash-consistency claims in :mod:`repro.stream` / :mod:`repro.replica`
-(torn-tail healing, temp+rename-atomic publication, directory fsync)
-all reduce to "a process may die between any two filesystem operations
-and nothing partially-written may ever become visible". This module
-makes that sweepable instead of anecdotal:
-
-* :class:`FaultInjector` intercepts the *durability boundaries* —
-  ``os.replace`` / ``os.rename`` (publication) and ``os.fsync``
-  (persistence) — counts them, and raises :class:`InjectedCrash`
-  *before* the N-th one executes. A dry run (``crash_at=None``)
-  enumerates a scenario's crash points; a sweep then re-runs it
-  crashing at every point in turn. The op trace is a pure function of
-  the code under test, so sweeps are deterministic by construction —
-  no timing, no real signals.
-* :func:`tear_file` deterministically truncates a file (seeded),
-  simulating the torn in-progress *write* half: a ``write(2)`` that
-  died mid-buffer, media damage, or a non-atomic copy.
-* :func:`sample_crash_points` draws a seeded subset when a sweep is
-  too large to run exhaustively.
-
-:class:`InjectedCrash` derives from ``BaseException`` on purpose: the
-code under test must behave as if the process died, so no
-``except Exception`` / ``except OSError`` recovery path may swallow
-the crash and keep going.
+The deterministic crash-sweep tooling that used to live here is now
+first-class product surface at :mod:`repro.faults.inject` (alongside
+the error injector, retry policies and circuit breakers it grew into).
+This module remains only so older test imports keep working; new code
+should import from ``repro.faults`` directly.
 """
 
 from __future__ import annotations
 
-import os
-import random
+from repro.faults.inject import (  # noqa: F401
+    FaultInjector,
+    InjectedCrash,
+    sample_crash_points,
+    tear_file,
+)
 
-
-class InjectedCrash(BaseException):
-    """The simulated process death raised at a crash point."""
-
-
-class FaultInjector:
-    """Context manager that crashes at the N-th intercepted fs op.
-
-    Parameters
-    ----------
-    crash_at:
-        1-based index of the intercepted operation that does NOT
-        execute (the "process died just before it" semantics; crashing
-        before op N equals crashing after op N-1, so sweeping
-        ``1..total`` plus the no-crash run covers every boundary).
-        ``None`` intercepts and records without crashing — the dry run
-        that enumerates a scenario's crash points.
-
-    obs:
-        Optional :class:`repro.obs.Telemetry` recorder. When given,
-        every intercepted op increments a
-        ``faultinject_ops_total{kind=...}`` counter and an injected
-        crash increments ``faultinject_crashes_total{kind=...}`` — so a
-        fault-harness run's telemetry snapshot shows which durability
-        boundaries the sweep actually exercised.
-
-    Attributes
-    ----------
-    trace:
-        ``(kind, path)`` of every intercepted op, in order — including,
-        last, the op a crash suppressed.
-    """
-
-    _TARGETS = ("replace", "rename", "fsync")
-
-    def __init__(self, crash_at: int | None = None, obs=None) -> None:
-        self.crash_at = crash_at
-        self.obs = obs
-        self.trace: list[tuple[str, str]] = []
-        self._originals: dict = {}
-
-    def __enter__(self) -> "FaultInjector":
-        for kind in self._TARGETS:
-            self._originals[kind] = getattr(os, kind)
-            setattr(os, kind, self._wrap(kind, self._originals[kind]))
-        return self
-
-    def __exit__(self, *exc) -> None:
-        for kind, original in self._originals.items():
-            setattr(os, kind, original)
-        self._originals.clear()
-
-    def _wrap(self, kind: str, original):
-        def intercepted(*args, **kwargs):
-            self.trace.append((kind, str(args[0]) if args else ""))
-            if self.obs is not None and self.obs.enabled:
-                self.obs.counter("faultinject_ops_total", labels=("kind",)).labels(
-                    kind=kind
-                ).inc()
-            if self.crash_at is not None and len(self.trace) == self.crash_at:
-                if self.obs is not None and self.obs.enabled:
-                    self.obs.counter(
-                        "faultinject_crashes_total", labels=("kind",)
-                    ).labels(kind=kind).inc()
-                raise InjectedCrash(
-                    f"injected crash before {kind} #{len(self.trace)} "
-                    f"({self.trace[-1][1]})"
-                )
-            return original(*args, **kwargs)
-
-        return intercepted
-
-    def __len__(self) -> int:
-        return len(self.trace)
-
-
-def tear_file(path, seed: int, min_keep: int = 1) -> int:
-    """Truncate ``path`` to a seeded, deterministic prefix; returns kept bytes.
-
-    Simulates the write-side fault :class:`FaultInjector` cannot reach
-    (buffered writes never cross an interceptable os boundary): the
-    file exists but only a prefix of its bytes made it to the medium.
-    """
-    data = path.read_bytes()
-    if len(data) <= min_keep:
-        raise ValueError(f"{path} too small to tear ({len(data)} bytes)")
-    keep = random.Random(seed).randrange(min_keep, len(data))
-    path.write_bytes(data[:keep])
-    return keep
-
-
-def sample_crash_points(total: int, k: int, seed: int) -> list[int]:
-    """A seeded, sorted subset of ``1..total`` for non-exhaustive sweeps."""
-    if total < 1:
-        return []
-    k = min(k, total)
-    return sorted(random.Random(seed).sample(range(1, total + 1), k))
+__all__ = ["FaultInjector", "InjectedCrash", "sample_crash_points", "tear_file"]

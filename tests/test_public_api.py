@@ -28,6 +28,7 @@ PUBLIC_MODULES = (
     "repro",
     "repro.data",
     "repro.errors",
+    "repro.faults",
     "repro.replica",
     "repro.serve",
     "repro.stream",
